@@ -1,0 +1,158 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: beam
+// width vs plan quality, the communication-optimization rules, sufficient
+// factor broadcasting, and the iterative Q↔B loop vs a single pass
+// (AccPar-style "optimize each aspect once").
+package hap
+
+import (
+	"testing"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	graphpkg "hap/internal/graph"
+	"hap/internal/hapopt"
+	"hap/internal/models"
+	"hap/internal/synth"
+	"hap/internal/theory"
+)
+
+func ablationGraphCluster() (*Graph, *Cluster) {
+	cl := cluster.PaperHeterogeneous(1)
+	cfg := models.BERTBase()
+	cfg.Layers = 4
+	cfg.Vocab = 8192
+	g := models.Training(models.BERT(cfg, 64*cl.TotalGPUs()*32))
+	return g, cl
+}
+
+// BenchmarkAblationBeamWidth sweeps the beam width and reports plan cost
+// and search effort: wider beams buy (at most) slightly better plans for
+// linearly more work.
+func BenchmarkAblationBeamWidth(b *testing.B) {
+	g, cl := ablationGraphCluster()
+	th := theory.New(g)
+	ratios := cost.UniformRatios(1, cl.ProportionalRatios())
+	for _, width := range []int{8, 24, 48, 96} {
+		b.Run(itoa(width), func(b *testing.B) {
+			var stats synth.Stats
+			for i := 0; i < b.N; i++ {
+				_, s, err := synth.Synthesize(g, th, cl, ratios, synth.Options{BeamWidth: width})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(stats.Cost*1e3, "plan-ms")
+			b.ReportMetric(float64(stats.Expansions), "expansions")
+		})
+	}
+}
+
+// BenchmarkAblationCommOpt compares synthesis with and without the grouped-
+// Broadcast All-Gather implementation (the "C" of Fig. 15).
+func BenchmarkAblationCommOpt(b *testing.B) {
+	g, cl := ablationGraphCluster()
+	th := theory.New(g)
+	ratios := cost.UniformRatios(1, []float64{0.3, 0.3, 0.08, 0.08, 0.08, 0.08, 0.04, 0.04})
+	for _, disabled := range []bool{false, true} {
+		name := "with-grouped-broadcast"
+		if disabled {
+			name = "without"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats synth.Stats
+			for i := 0; i < b.N; i++ {
+				_, s, err := synth.Synthesize(g, th, cl, ratios,
+					synth.Options{BeamWidth: 48, DisableGroupedBroadcast: disabled})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(stats.Cost*1e3, "plan-ms")
+		})
+	}
+}
+
+// BenchmarkAblationSFB compares the data-parallel strategy space with and
+// without the replicated-MatMul (SFB) rules on a small-batch FC model.
+func BenchmarkAblationSFB(b *testing.B) {
+	cl := cluster.FromGPUs(cluster.DefaultNetwork(),
+		cluster.MachineSpec{Type: cluster.V100, GPUs: 1},
+		cluster.MachineSpec{Type: cluster.V100, GPUs: 1},
+		cluster.MachineSpec{Type: cluster.V100, GPUs: 1},
+		cluster.MachineSpec{Type: cluster.V100, GPUs: 1})
+	g := models.Training(models.MLP(8, 512, 512))
+	// Restrict to the data-parallel space (batch-sharded inputs, replicated
+	// parameters): SFB is a DP-space optimization; the unrestricted search
+	// sidesteps it with zero-communication tensor parallelism.
+	dp := theory.New(g).Filter(func(tr *theory.Triple) bool {
+		for _, p := range tr.LeafPre {
+			n := g.Node(p.Ref)
+			switch n.Kind {
+			case graphpkg.Placeholder:
+				if !(p.Kind == theory.Gather && int(p.Dim) == n.BatchDim) {
+					return false
+				}
+			case graphpkg.Parameter:
+				if p.Kind != theory.Identity {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	ratios := cost.UniformRatios(1, cl.EvenRatios())
+	for _, disabled := range []bool{false, true} {
+		name := "with-sfb"
+		if disabled {
+			name = "without"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats synth.Stats
+			for i := 0; i < b.N; i++ {
+				_, s, err := synth.Synthesize(g, dp, cl, ratios,
+					synth.Options{BeamWidth: 32, DisableSFB: disabled})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s
+			}
+			b.ReportMetric(stats.Cost*1e6, "plan-us")
+		})
+	}
+}
+
+// BenchmarkAblationIterativeLoop compares one Q→B pass (the "optimize each
+// aspect once" of prior work, Sec. 1) against HAP's alternation.
+func BenchmarkAblationIterativeLoop(b *testing.B) {
+	g, cl := ablationGraphCluster()
+	for _, iters := range []int{1, 4} {
+		b.Run(itoa(iters)+"-iterations", func(b *testing.B) {
+			var res *hapopt.Result
+			for i := 0; i < b.N; i++ {
+				r, err := hapopt.Optimize(g, cl, hapopt.Options{MaxIterations: iters, Synth: synth.Auto()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.Cost*1e3, "plan-ms")
+			b.ReportMetric(float64(res.Iters), "iters-used")
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

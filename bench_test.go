@@ -1,0 +1,128 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation. Each benchmark regenerates the corresponding
+// table/figure via internal/experiments and reports its headline metric as
+// a custom unit, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. Heavy figures run at reduced ("quick") scale here; use
+// `go run ./cmd/hap-bench` (without -quick) for paper-scale sweeps.
+package hap
+
+import (
+	"strconv"
+	"testing"
+
+	"hap/internal/experiments"
+)
+
+var quick = experiments.Config{Quick: true}
+var full = experiments.Config{}
+
+func runExperiment(b *testing.B, gen func(experiments.Config) *experiments.Report, cfg experiments.Config) *experiments.Report {
+	b.Helper()
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = gen(cfg)
+	}
+	if r == nil || len(r.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	b.Log("\n" + r.String())
+	return r
+}
+
+func cell(b *testing.B, r *experiments.Report, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(r.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q not numeric", row, col, r.Rows[row][col])
+	}
+	return v
+}
+
+// BenchmarkTable1Models regenerates Table 1 (benchmark model sizes).
+func BenchmarkTable1Models(b *testing.B) {
+	r := runExperiment(b, experiments.Table1, full)
+	b.ReportMetric(cell(b, r, 0, 2), "VGG19-Mparams")
+	b.ReportMetric(cell(b, r, 2, 2), "BERT-Mparams")
+}
+
+// BenchmarkFig2ShardingRatios regenerates Fig. 2 (CP vs EV trade-off).
+func BenchmarkFig2ShardingRatios(b *testing.B) {
+	r := runExperiment(b, experiments.Fig2, quick)
+	last := len(r.Rows) - 1
+	b.ReportMetric(cell(b, r, last, 3)/cell(b, r, last, 2), "EV/CP-at-high-comp")
+	b.ReportMetric(cell(b, r, 0, 2)/cell(b, r, 0, 3), "CP/EV-at-low-comp")
+}
+
+// BenchmarkFig4AllGather regenerates Fig. 4 (padded AG vs grouped Broadcast).
+func BenchmarkFig4AllGather(b *testing.B) {
+	r := runExperiment(b, experiments.Fig4, full)
+	b.ReportMetric(cell(b, r, 0, 1), "padded-GBps-even")
+	b.ReportMetric(cell(b, r, len(r.Rows)-1, 2), "grouped-GBps-skewed")
+}
+
+// BenchmarkFig13Heterogeneous regenerates Fig. 13 (heterogeneous cluster,
+// all systems × all models).
+func BenchmarkFig13Heterogeneous(b *testing.B) {
+	r := runExperiment(b, experiments.Fig13, quick)
+	// Headline: HAP speedup over the best finishing DP baseline on VGG19.
+	hap := cell(b, r, 0, 2)
+	best := 1e18
+	for _, col := range []int{3, 4} {
+		if v, err := strconv.ParseFloat(r.Rows[0][col], 64); err == nil && v < best {
+			best = v
+		}
+	}
+	b.ReportMetric(best/hap, "VGG19-speedup-vs-DP")
+}
+
+// BenchmarkFig14Homogeneous regenerates Fig. 14 (homogeneous cluster).
+func BenchmarkFig14Homogeneous(b *testing.B) {
+	r := runExperiment(b, experiments.Fig14, quick)
+	hap := cell(b, r, 0, 2)
+	if v, err := strconv.ParseFloat(r.Rows[0][3], 64); err == nil {
+		b.ReportMetric(v/hap, "VGG19-speedup-vs-DPEV")
+	}
+}
+
+// BenchmarkFig15Ablation regenerates Fig. 15 (DP-EV → +Q → +B → +C).
+func BenchmarkFig15Ablation(b *testing.B) {
+	runExperiment(b, experiments.Fig15, quick)
+}
+
+// BenchmarkFig16Concurrent regenerates Fig. 16 (HAP vs concurrent
+// subcluster training).
+func BenchmarkFig16Concurrent(b *testing.B) {
+	r := runExperiment(b, experiments.Fig16, quick)
+	b.ReportMetric(cell(b, r, 0, 3), "VGG19-HAP-throughput-pct")
+}
+
+// BenchmarkFig17UnevenExperts regenerates Fig. 17 (uneven expert placement).
+func BenchmarkFig17UnevenExperts(b *testing.B) {
+	r := runExperiment(b, experiments.Fig17, quick)
+	// Headline: DeepSpeed/HAP time ratio at a non-multiple expert count.
+	for _, row := range r.Rows {
+		if row[0] != row[3] { // padded
+			hap, err1 := strconv.ParseFloat(row[1], 64)
+			ds, err2 := strconv.ParseFloat(row[2], 64)
+			if err1 == nil && err2 == nil {
+				b.ReportMetric(ds/hap, "DeepSpeed/HAP-at-padding")
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkFig18CostModel regenerates Fig. 18 (cost-model accuracy).
+func BenchmarkFig18CostModel(b *testing.B) {
+	r := runExperiment(b, experiments.Fig18, quick)
+	last := r.Rows[len(r.Rows)-1]
+	if last[0] == "pearson" {
+		b.ReportMetric(cell(b, r, len(r.Rows)-1, 2), "pearson-r")
+	}
+}
+
+// BenchmarkFig19SynthesisTime regenerates Fig. 19 (synthesis time vs depth).
+func BenchmarkFig19SynthesisTime(b *testing.B) {
+	r := runExperiment(b, experiments.Fig19, quick)
+	b.ReportMetric(cell(b, r, len(r.Rows)-1, 1), "synth-sec-max-depth")
+}

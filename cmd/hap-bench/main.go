@@ -1,0 +1,40 @@
+// Command hap-bench regenerates the paper's tables and figures (Sec. 7) on
+// the simulated substrate and prints them as text tables — the counterpart
+// of the artifact's worker.py experiment driver.
+//
+// Usage:
+//
+//	hap-bench [-quick] [experiment ids...]
+//
+// With no ids, all experiments run in order. Known ids: table1 fig2 fig4
+// fig13 fig14 fig15 fig16 fig17 fig18 fig19.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"hap/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced model sizes and sweeps")
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.Order
+	}
+	cfg := experiments.Config{Quick: *quick}
+	for _, id := range ids {
+		gen, ok := experiments.All[id]
+		if !ok {
+			log.Fatalf("unknown experiment %q (known: %v)", id, experiments.Order)
+		}
+		start := time.Now()
+		fmt.Println(gen(cfg))
+		fmt.Printf("(%s generated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

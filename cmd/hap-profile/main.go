@@ -1,0 +1,50 @@
+// Command hap-profile prints device capabilities and the fitted
+// latency/bandwidth models of every collective on a cluster — the
+// counterpart of the artifact's profiler.py.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hap/internal/cluster"
+	"hap/internal/collective"
+)
+
+func main() {
+	clusterName := flag.String("cluster", "hetero", "cluster: hetero, homo, a100p100")
+	k := flag.Int("k", 8, "GPUs per machine")
+	flag.Parse()
+
+	var c *cluster.Cluster
+	switch *clusterName {
+	case "hetero":
+		c = cluster.PaperHeterogeneous(*k)
+	case "homo":
+		c = cluster.PaperHomogeneous(*k)
+	case "a100p100":
+		c = cluster.PaperA100P100()
+	default:
+		log.Fatalf("unknown cluster %q", *clusterName)
+	}
+	fmt.Print(c)
+
+	fmt.Println("\ndevice flops (achievable):")
+	for _, d := range c.Devices {
+		fmt.Printf("  %-4s ×%d: %8.2f TFLOPS\n", d.Type.Name, d.GPUs, d.Flops()/1e12)
+	}
+
+	fmt.Println("\nfitted collective models (time ≈ α + maxShardBytes/β):")
+	for _, kd := range []collective.Kind{
+		collective.AllReduce, collective.PaddedAllGather,
+		collective.GroupedBroadcast, collective.ReduceScatter, collective.AllToAll,
+	} {
+		lm := collective.Fit(c, kd)
+		bw := 0.0
+		if lm.InvBW > 0 {
+			bw = 1 / lm.InvBW / 1e9
+		}
+		fmt.Printf("  %-18s α = %8.1f µs   β = %6.2f GB/s\n", kd, lm.Alpha*1e6, bw)
+	}
+}

@@ -1,0 +1,68 @@
+// Command hap-synth synthesizes and prints the distributed program for a
+// paper benchmark on a chosen cluster — the counterpart of the artifact's
+// master.py (compile without running).
+//
+// Usage:
+//
+//	hap-synth [-model VGG19|ViT|BERT-Base|BERT-MoE] [-k gpusPerMachine]
+//	          [-cluster hetero|homo|a100p100] [-segments n] [-trace file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hap"
+	"hap/internal/cluster"
+	"hap/internal/models"
+	"hap/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "BERT-Base", "benchmark model (VGG19, ViT, BERT-Base, BERT-MoE)")
+	k := flag.Int("k", 1, "GPUs per machine")
+	clusterName := flag.String("cluster", "hetero", "cluster: hetero (2×V100+6×P100 machines), homo (4×P100), a100p100")
+	segments := flag.Int("segments", 1, "model segments for per-segment sharding ratios")
+	trace := flag.String("trace", "", "write a Chrome trace of one simulated iteration to this file")
+	flag.Parse()
+
+	var c *cluster.Cluster
+	switch *clusterName {
+	case "hetero":
+		c = cluster.PaperHeterogeneous(*k)
+	case "homo":
+		c = cluster.PaperHomogeneous(*k)
+	case "a100p100":
+		c = cluster.PaperA100P100()
+	default:
+		log.Fatalf("unknown cluster %q", *clusterName)
+	}
+	fmt.Print(c)
+
+	g := models.Build(models.PaperModel(*model), c.TotalGPUs())
+	fmt.Printf("model %s: %d nodes, %.1fM parameters, %.2f GFLOPs/iteration\n",
+		*model, g.NumNodes(), float64(g.ParameterCount())/1e6, g.TotalFlops()/1e9)
+
+	plan, err := hap.Parallelize(g, c, hap.Options{Segments: *segments})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsynthesis took %.2fs; modeled %.1f ms/iteration; simulated %.1f ms/iteration\n",
+		plan.SynthesisTime, plan.Cost*1e3, sim.IterationTime(c, plan.Program, plan.Ratios, 1)*1e3)
+	fmt.Printf("sharding ratios: %.3f\n\n", plan.Ratios)
+	fmt.Print(plan.Program)
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := hap.WriteTrace(f, plan, c, 1); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *trace)
+	}
+}

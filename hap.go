@@ -1,0 +1,160 @@
+// Package hap is an automated system for SPMD training of deep neural
+// networks on heterogeneous GPU clusters, reproducing "HAP: SPMD DNN
+// Training on Heterogeneous GPU Clusters with Automated Program Synthesis"
+// (EuroSys 2024).
+//
+// Given a single-device training graph and a cluster specification, HAP
+// jointly decides the tensor sharding strategy (by synthesizing a
+// distributed program with an A*-guided syntax-guided search), the sharding
+// ratios across heterogeneous devices (by linear programming), and the
+// communication method per collective (padded All-Gather vs grouped
+// Broadcast, sufficient factor broadcasting) — Sec. 3–5 of the paper.
+//
+// The API mirrors the artifact's hap.HAP function: build a model graph,
+// describe the cluster, call Parallelize:
+//
+//	g := hap.NewGraph()
+//	x := g.AddPlaceholder("x", 0, 512, 784)
+//	w := g.AddParameter("w", 784, 10)
+//	g.SetLoss(g.AddOp(hap.MatMul, x, w)) // ... then Backward(g)
+//	plan, err := hap.Parallelize(g, hap.Heterogeneous(...), hap.Options{})
+//
+// The plan contains the SPMD program every device executes, the per-segment
+// sharding ratios, and the modeled per-iteration time. The numeric runtime
+// (hap.Verify) checks the synthesized program is semantically equivalent to
+// the single-device graph, and the simulator (hap.Simulate) reports the
+// "actual" time on the modeled cluster.
+package hap
+
+import (
+	"io"
+
+	"hap/internal/autodiff"
+	"hap/internal/cluster"
+	"hap/internal/dist"
+	"hap/internal/graph"
+	"hap/internal/hapopt"
+	"hap/internal/runtime"
+	"hap/internal/sim"
+	"hap/internal/synth"
+)
+
+// Re-exported graph construction API.
+type (
+	// Graph is a single-device training program.
+	Graph = graph.Graph
+	// NodeID names a tensor in the graph.
+	NodeID = graph.NodeID
+	// OpKind is a single-device operator.
+	OpKind = graph.OpKind
+	// Cluster describes the devices and interconnect.
+	Cluster = cluster.Cluster
+	// DeviceType is a GPU model.
+	DeviceType = cluster.DeviceType
+	// MachineSpec describes one machine for cluster builders.
+	MachineSpec = cluster.MachineSpec
+	// Program is a synthesized SPMD program.
+	Program = dist.Program
+)
+
+// Common operator kinds (see internal/graph for the full set).
+const (
+	MatMul  = graph.MatMul
+	Add     = graph.Add
+	ReLU    = graph.ReLU
+	GeLU    = graph.GeLU
+	Sigmoid = graph.Sigmoid
+	Softmax = graph.Softmax
+	Sum     = graph.Sum
+)
+
+// GPU models of the paper's testbed.
+var (
+	V100 = cluster.V100
+	P100 = cluster.P100
+	A100 = cluster.A100
+)
+
+// NewGraph returns an empty single-device graph.
+func NewGraph() *Graph { return graph.New() }
+
+// Backward appends the training backward pass (parameter gradients).
+func Backward(g *Graph) error { return autodiff.Backward(g) }
+
+// Heterogeneous builds a cluster with one machine-level virtual device per
+// machine, like the paper's testbed.
+func Heterogeneous(machines ...MachineSpec) *Cluster {
+	return cluster.FromMachines(cluster.DefaultNetwork(), 0, machines...)
+}
+
+// PerGPU builds a cluster with one virtual device per GPU.
+func PerGPU(machines ...MachineSpec) *Cluster {
+	return cluster.FromGPUs(cluster.DefaultNetwork(), machines...)
+}
+
+// Options tunes Parallelize.
+type Options struct {
+	// Segments > 1 enables per-segment sharding ratios (Sec. 5.2).
+	Segments int
+	// MaxIterations bounds the Q↔B alternation (default 4).
+	MaxIterations int
+	// ExactSearch forces exact A* (default: automatic — exact for small
+	// graphs, beam search for model-scale ones).
+	ExactSearch bool
+}
+
+// Plan is the result of Parallelize: what every worker runs.
+type Plan struct {
+	// Program is the SPMD program executed identically on all devices.
+	Program *Program
+	// Ratios are the sharding ratios B[segment][device].
+	Ratios [][]float64
+	// Cost is the modeled per-iteration time in seconds.
+	Cost float64
+	// SynthesisTime is the time program synthesis took.
+	SynthesisTime float64
+}
+
+// Parallelize runs the full HAP pipeline: iterative program synthesis and
+// sharding-ratio optimization (Sec. 3.1).
+func Parallelize(g *Graph, c *Cluster, opt Options) (*Plan, error) {
+	o := hapopt.Options{
+		MaxIterations: opt.MaxIterations,
+		Segments:      opt.Segments,
+		Synth:         synth.Auto(),
+	}
+	if opt.ExactSearch {
+		o.Synth = synth.Options{}
+	}
+	res, err := hapopt.Optimize(g, c, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Program:       res.Program,
+		Ratios:        res.Ratios,
+		Cost:          res.Cost,
+		SynthesisTime: res.Elapsed.Seconds(),
+	}, nil
+}
+
+// Verify numerically checks that the plan's program is semantically
+// equivalent to the single-device graph (Sec. 4.2), executing both on
+// random data across m simulated devices.
+func Verify(plan *Plan, devices int, seed int64) error {
+	return runtime.VerifyEquivalence(plan.Program, devices, plan.Ratios, seed)
+}
+
+// Simulate runs the plan on the modeled cluster and returns the simulated
+// per-iteration time in seconds (kernel overheads, barriers and link noise
+// included — the analytic Cost underestimates this; Fig. 18).
+func Simulate(plan *Plan, c *Cluster, seed int64) float64 {
+	return sim.IterationTime(c, plan.Program, plan.Ratios, seed)
+}
+
+// WriteTrace writes a Chrome-trace JSON of one simulated iteration, like
+// the artifact's trace.json.gz.
+func WriteTrace(w io.Writer, plan *Plan, c *Cluster, seed int64) error {
+	r := sim.Run(c, plan.Program, plan.Ratios, sim.Options{Seed: seed})
+	return sim.WriteTrace(w, r.Events)
+}

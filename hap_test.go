@@ -1,0 +1,83 @@
+package hap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testCluster() *Cluster {
+	return PerGPU(
+		MachineSpec{Type: V100, GPUs: 1},
+		MachineSpec{Type: P100, GPUs: 1},
+	)
+}
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	x := g.AddPlaceholder("x", 0, 64, 32)
+	w1 := g.AddParameter("w1", 32, 48)
+	w2 := g.AddParameter("w2", 48, 8)
+	h := g.AddOp(ReLU, g.AddOp(MatMul, x, w1))
+	g.SetLoss(g.AddOp(Sum, g.AddScale(g.AddOp(MatMul, h, w2), 1.0/64)))
+	if err := Backward(g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParallelizeEndToEnd(t *testing.T) {
+	g := testGraph(t)
+	c := testCluster()
+	plan, err := Parallelize(g, c, Options{})
+	if err != nil {
+		t.Fatalf("Parallelize: %v", err)
+	}
+	if plan.Cost <= 0 || len(plan.Program.Instrs) == 0 {
+		t.Fatal("degenerate plan")
+	}
+	if err := Verify(plan, c.M(), 5); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if s := Simulate(plan, c, 1); s < plan.Cost {
+		t.Errorf("simulated %v below analytic %v", s, plan.Cost)
+	}
+}
+
+func TestParallelizeExactSearch(t *testing.T) {
+	g := testGraph(t)
+	plan, err := Parallelize(g, testCluster(), Options{ExactSearch: true})
+	if err != nil {
+		t.Fatalf("Parallelize exact: %v", err)
+	}
+	if err := Verify(plan, 2, 9); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestWriteTraceAPI(t *testing.T) {
+	g := testGraph(t)
+	c := testCluster()
+	plan, err := Parallelize(g, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, plan, c, 1); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Error("trace missing traceEvents")
+	}
+}
+
+func TestHeterogeneousBuilder(t *testing.T) {
+	c := Heterogeneous(
+		MachineSpec{Type: V100, GPUs: 8},
+		MachineSpec{Type: P100, GPUs: 8},
+	)
+	if c.M() != 2 || c.TotalGPUs() != 16 {
+		t.Errorf("M=%d GPUs=%d", c.M(), c.TotalGPUs())
+	}
+}

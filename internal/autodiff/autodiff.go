@@ -1,0 +1,200 @@
+// Package autodiff appends a reverse-mode backward pass to a single-device
+// graph. HAP synthesizes the *training* program, so the tensors the paper
+// cares about — parameters, activations and gradients — must all appear in
+// the graph. PyTorch produces the backward ops automatically; this package is
+// the Go substitute.
+//
+// The pass handles every forward op kind in the IR. Gates of MoE Dispatch are
+// treated as a routing decision and not differentiated through the dispatch
+// path (standard practice: top-k routing has no useful gradient there); the
+// gate parameter still receives its gradient through the Combine weighting.
+package autodiff
+
+import (
+	"fmt"
+
+	"hap/internal/graph"
+)
+
+// Backward appends gradient nodes for every node on a path from a parameter
+// to the loss and records parameter gradients in g.Grads. It returns an error
+// if the graph has no loss or some parameter receives no gradient.
+func Backward(g *graph.Graph) error {
+	if g.Loss < 0 {
+		return fmt.Errorf("autodiff: graph has no loss node")
+	}
+	// grads[n] is the node computing dLoss/dn, accumulated with Add.
+	grads := make(map[graph.NodeID]graph.NodeID)
+	accumulate := func(n, grad graph.NodeID) {
+		if prev, ok := grads[n]; ok {
+			grads[n] = g.AddOp(graph.Add, prev, grad)
+		} else {
+			grads[n] = grad
+		}
+	}
+
+	// needsGrad marks nodes on some parameter→loss path so we skip dead
+	// branches (e.g. placeholders feeding only routing decisions).
+	needsGrad := make([]bool, g.NumNodes())
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Kind == graph.Parameter {
+			needsGrad[i] = true
+			continue
+		}
+		for _, in := range n.Inputs {
+			if needsGrad[in] {
+				needsGrad[i] = true
+				break
+			}
+		}
+	}
+	if !needsGrad[g.Loss] {
+		// A loss independent of all parameters: nothing to do.
+		for range g.Params {
+			return fmt.Errorf("autodiff: loss does not depend on any parameter")
+		}
+		return nil
+	}
+
+	numForward := g.NumNodes()
+	g.ForwardCount = numForward
+	grads[g.Loss] = g.AddOnes() // dLoss/dLoss = scalar 1
+	g.PrimalOf[grads[g.Loss]] = g.Loss
+	for id := graph.NodeID(numForward - 1); id >= 0; id-- {
+		gy, ok := grads[id]
+		if !ok || !needsGrad[id] {
+			continue
+		}
+		n := *g.Node(id) // copy: appending nodes may reallocate
+		in := func(i int) graph.NodeID { return n.Inputs[i] }
+		shapeOf := func(i int) []int { return g.Node(in(i)).Shape }
+		before := g.NumNodes()
+		switch n.Kind {
+		case graph.Placeholder, graph.Parameter, graph.Ones, graph.Expand:
+			// Leaves: nothing to propagate. (Expand's scalar input is a
+			// constant-1 seed; its gradient is never needed.)
+		case graph.Sum:
+			if needsGrad[in(0)] {
+				accumulate(in(0), g.AddExpand(gy, g.Node(in(0)).Shape))
+			}
+		case graph.Scale:
+			if needsGrad[in(0)] {
+				accumulate(in(0), g.AddScale(gy, n.ScaleFactor))
+			}
+		case graph.Add:
+			for i := 0; i < 2; i++ {
+				if needsGrad[in(i)] {
+					accumulate(in(i), gy)
+				}
+			}
+		case graph.Mul:
+			if needsGrad[in(0)] {
+				accumulate(in(0), g.AddOp(graph.Mul, gy, in(1)))
+			}
+			if needsGrad[in(1)] {
+				accumulate(in(1), g.AddOp(graph.Mul, gy, in(0)))
+			}
+		case graph.MatMul:
+			// y = a·b : da = gy·bᵀ, db = aᵀ·gy
+			if needsGrad[in(0)] {
+				bt := g.AddOp(graph.Transpose, in(1))
+				accumulate(in(0), g.AddOp(graph.MatMul, gy, bt))
+			}
+			if needsGrad[in(1)] {
+				at := g.AddOp(graph.Transpose, in(0))
+				accumulate(in(1), g.AddOp(graph.MatMul, at, gy))
+			}
+		case graph.Transpose:
+			if needsGrad[in(0)] {
+				accumulate(in(0), g.AddOp(graph.Transpose, gy))
+			}
+		case graph.ReLU:
+			if needsGrad[in(0)] {
+				accumulate(in(0), g.AddOp(graph.ReLUGrad, in(0), gy))
+			}
+		case graph.Sigmoid:
+			if needsGrad[in(0)] {
+				accumulate(in(0), g.AddOp(graph.SigmoidGrad, in(0), gy))
+			}
+		case graph.GeLU:
+			if needsGrad[in(0)] {
+				accumulate(in(0), g.AddOp(graph.GeLUGrad, in(0), gy))
+			}
+		case graph.Softmax:
+			if needsGrad[in(0)] {
+				// SoftmaxGrad consumes the op *output* y and gy.
+				accumulate(in(0), g.AddOp(graph.SoftmaxGrad, id, gy))
+			}
+		case graph.Conv:
+			// y = conv(x, w): backward costs mirror the forward.
+			if needsGrad[in(0)] {
+				dx := g.AddShaped(graph.ConvGradX, shapeOf(0), n.FlopsPerSample, in(1), gy)
+				accumulate(in(0), dx)
+			}
+			if needsGrad[in(1)] {
+				dw := g.AddShaped(graph.ConvGradW, shapeOf(1), n.FlopsPerSample, in(0), gy)
+				accumulate(in(1), dw)
+			}
+		case graph.Dispatch:
+			// Routing is not differentiated through gates (top-k routing);
+			// the token path gets DispatchGrad.
+			if needsGrad[in(0)] {
+				dx := g.AddShaped(graph.DispatchGrad, shapeOf(0), 2, gy)
+				accumulate(in(0), dx)
+			}
+		case graph.ExpertMM:
+			d, w := g.Node(in(0)).Shape, g.Node(in(1)).Shape
+			perExpert := 2 * float64(d[1]) * float64(d[2]) * float64(w[2])
+			if needsGrad[in(0)] {
+				dx := g.AddShaped(graph.ExpertMMGradX, shapeOf(0), perExpert, in(1), gy)
+				accumulate(in(0), dx)
+			}
+			if needsGrad[in(1)] {
+				dw := g.AddShaped(graph.ExpertMMGradW, shapeOf(1), perExpert, in(0), gy)
+				accumulate(in(1), dw)
+			}
+		case graph.Combine:
+			// y = combine(e, gates): grads flow to both the expert output
+			// and the gates (which is how the gate parameter trains).
+			if needsGrad[in(0)] {
+				de := g.AddShaped(graph.CombineGrad, shapeOf(0), 2, gy, in(1))
+				accumulate(in(0), de)
+			}
+			if needsGrad[in(1)] {
+				dg := g.AddShaped(graph.CombineGradG, shapeOf(1), 2, gy, in(0))
+				accumulate(in(1), dg)
+			}
+		case graph.Embed:
+			// ids are discrete; only the table receives a gradient.
+			if needsGrad[in(1)] {
+				dw := g.AddShaped(graph.EmbedGrad, shapeOf(1), 0, in(0), gy)
+				accumulate(in(1), dw)
+			}
+		case graph.Attention:
+			if needsGrad[in(0)] {
+				dq := g.AddShaped(graph.AttentionGrad, shapeOf(0), 2*n.FlopsPerSample, in(0), gy)
+				accumulate(in(0), dq)
+			}
+		case graph.Pool:
+			if needsGrad[in(0)] {
+				dx := g.AddShaped(graph.PoolGrad, shapeOf(0), 0, in(0), gy)
+				accumulate(in(0), dx)
+			}
+		default:
+			return fmt.Errorf("autodiff: no backward rule for %v (node %d)", n.Kind, id)
+		}
+		for nid := before; nid < g.NumNodes(); nid++ {
+			g.PrimalOf[graph.NodeID(nid)] = id
+		}
+	}
+
+	for _, p := range g.Params {
+		gp, ok := grads[p]
+		if !ok {
+			return fmt.Errorf("autodiff: parameter %d (%s) receives no gradient", p, g.Node(p).Name)
+		}
+		g.Grads[p] = gp
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package autodiff
+
+import (
+	"testing"
+
+	"hap/internal/graph"
+)
+
+func mlp() *graph.Graph {
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 8, 4)
+	w1 := g.AddParameter("w1", 4, 6)
+	w2 := g.AddParameter("w2", 6, 3)
+	h := g.AddOp(graph.MatMul, x, w1)
+	a := g.AddOp(graph.ReLU, h)
+	y := g.AddOp(graph.MatMul, a, w2)
+	g.SetLoss(g.AddOp(graph.Sum, y))
+	return g
+}
+
+func TestBackwardProducesAllParamGrads(t *testing.T) {
+	g := mlp()
+	if err := Backward(g); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after backward: %v", err)
+	}
+	for _, p := range g.Params {
+		gp, ok := g.Grads[p]
+		if !ok {
+			t.Fatalf("parameter %d has no gradient", p)
+		}
+		if !g.Node(gp).Shape.Equal(g.Node(p).Shape) {
+			t.Errorf("grad shape %v != param shape %v", g.Node(gp).Shape, g.Node(p).Shape)
+		}
+	}
+}
+
+func TestBackwardGradShapesMatchPrimal(t *testing.T) {
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 4, 4)
+	w := g.AddParameter("w", 4, 4)
+	h := g.AddOp(graph.MatMul, x, w)
+	s := g.AddOp(graph.Sigmoid, h)
+	gl := g.AddOp(graph.GeLU, s)
+	sm := g.AddOp(graph.Softmax, gl)
+	sc := g.AddScale(sm, 0.5)
+	g.SetLoss(g.AddOp(graph.Sum, sc))
+	if err := Backward(g); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	gw := g.Grads[w]
+	if !g.Node(gw).Shape.Equal(g.Node(w).Shape) {
+		t.Errorf("grad shape %v, want %v", g.Node(gw).Shape, g.Node(w).Shape)
+	}
+}
+
+func TestBackwardRequiresLoss(t *testing.T) {
+	g := graph.New()
+	g.AddPlaceholder("x", 0, 2, 2)
+	if err := Backward(g); err == nil {
+		t.Error("Backward without loss should fail")
+	}
+}
+
+func TestBackwardSharedParameterAccumulates(t *testing.T) {
+	// w used twice: loss = sum(x·w + x·w ∘ x·w); the grad of w must be an
+	// accumulation (Add) of contributions.
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 3, 3)
+	w := g.AddParameter("w", 3, 3)
+	h1 := g.AddOp(graph.MatMul, x, w)
+	h2 := g.AddOp(graph.MatMul, x, w)
+	m := g.AddOp(graph.Mul, h1, h2)
+	g.SetLoss(g.AddOp(graph.Sum, m))
+	if err := Backward(g); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	gw := g.Grads[w]
+	if g.Node(gw).Kind != graph.Add {
+		t.Errorf("shared-parameter grad kind = %v, want add", g.Node(gw).Kind)
+	}
+}
+
+func TestBackwardMulBranches(t *testing.T) {
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 2, 2)
+	w1 := g.AddParameter("a", 2, 2)
+	w2 := g.AddParameter("b", 2, 2)
+	m := g.AddOp(graph.Mul, g.AddOp(graph.MatMul, x, w1), g.AddOp(graph.MatMul, x, w2))
+	g.SetLoss(g.AddOp(graph.Sum, m))
+	if err := Backward(g); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	if len(g.Grads) != 2 {
+		t.Errorf("got %d grads, want 2", len(g.Grads))
+	}
+}
+
+func TestBackwardConv(t *testing.T) {
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 16, 300)
+	w := g.AddParameter("w", 27, 64)
+	c := g.AddConv(x, w, 640, 1e6)
+	g.SetLoss(g.AddOp(graph.Sum, c))
+	if err := Backward(g); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	gw := g.Grads[w]
+	n := g.Node(gw)
+	if n.Kind != graph.ConvGradW {
+		t.Errorf("conv weight grad kind = %v", n.Kind)
+	}
+	if !n.Shape.Equal(g.Node(w).Shape) {
+		t.Errorf("conv weight grad shape = %v", n.Shape)
+	}
+	// Backward flops mirror forward per-sample cost.
+	if g.Flops(gw) != 1e6*16 {
+		t.Errorf("conv grad flops = %g", g.Flops(gw))
+	}
+}
+
+func TestBackwardMoE(t *testing.T) {
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 64, 32)
+	wg := g.AddParameter("wg", 32, 4)
+	gates := g.AddOp(graph.Softmax, g.AddOp(graph.MatMul, x, wg))
+	d := g.AddOp(graph.Dispatch, x, gates)
+	w1 := g.AddParameter("w1", 4, 32, 64)
+	e := g.AddOp(graph.ExpertMM, d, w1)
+	w2 := g.AddParameter("w2", 4, 64, 32)
+	e2 := g.AddOp(graph.ExpertMM, e, w2)
+	y := g.AddOp(graph.Combine, e2, gates)
+	g.SetLoss(g.AddOp(graph.Sum, y))
+	if err := Backward(g); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	for _, p := range []graph.NodeID{wg, w1, w2} {
+		gp, ok := g.Grads[p]
+		if !ok {
+			t.Fatalf("param %s missing grad", g.Node(p).Name)
+		}
+		if !g.Node(gp).Shape.Equal(g.Node(p).Shape) {
+			t.Errorf("%s grad shape %v, want %v", g.Node(p).Name, g.Node(gp).Shape, g.Node(p).Shape)
+		}
+	}
+}
+
+func TestBackwardDisconnectedParameterFails(t *testing.T) {
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 2, 2)
+	g.AddParameter("unused", 2, 2)
+	g.SetLoss(g.AddOp(graph.Sum, x))
+	if err := Backward(g); err == nil {
+		t.Error("Backward should fail when a parameter has no path to loss")
+	}
+}
+
+func TestBackwardGraphRoughlyDoubles(t *testing.T) {
+	g := mlp()
+	before := g.NumNodes()
+	if err := Backward(g); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	after := g.NumNodes()
+	if after <= before+3 {
+		t.Errorf("backward added only %d nodes", after-before)
+	}
+}

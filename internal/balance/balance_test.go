@@ -1,0 +1,123 @@
+package balance
+
+import (
+	"math"
+	"testing"
+
+	"hap/internal/autodiff"
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/dist"
+	"hap/internal/graph"
+	"hap/internal/synth"
+	"hap/internal/theory"
+)
+
+func mixedCluster() *cluster.Cluster {
+	return cluster.FromGPUs(cluster.DefaultNetwork(),
+		cluster.MachineSpec{Type: cluster.A100, GPUs: 1},
+		cluster.MachineSpec{Type: cluster.P100, GPUs: 1})
+}
+
+func trainingProgram(t *testing.T, c *cluster.Cluster) *dist.Program {
+	t.Helper()
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 128, 64)
+	w := g.AddParameter("w", 64, 64)
+	y := g.AddOp(graph.MatMul, x, w)
+	g.SetLoss(g.AddOp(graph.Sum, y))
+	if err := autodiff.Backward(g); err != nil {
+		t.Fatal(err)
+	}
+	b := cost.UniformRatios(1, c.ProportionalRatios())
+	p, _, err := synth.Synthesize(g, theory.New(g), c, b, synth.Options{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return p
+}
+
+func TestRatiosValid(t *testing.T) {
+	c := mixedCluster()
+	p := trainingProgram(t, c)
+	b, err := Ratios(c, p)
+	if err != nil {
+		t.Fatalf("Ratios: %v", err)
+	}
+	for k := range b {
+		sum := 0.0
+		for _, v := range b[k] {
+			if v < -1e-9 {
+				t.Errorf("negative ratio %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("segment %d ratios sum to %v", k, sum)
+		}
+	}
+}
+
+func TestBalancerNeverWorseThanProportional(t *testing.T) {
+	c := mixedCluster()
+	p := trainingProgram(t, c)
+	model := cost.Extract(c, p)
+	b, err := RatiosFromModel(model)
+	if err != nil {
+		t.Fatalf("Ratios: %v", err)
+	}
+	opt := model.Eval(b)
+	cp := model.Eval(cost.UniformRatios(model.Segments, c.ProportionalRatios()))
+	ev := model.Eval(cost.UniformRatios(model.Segments, c.EvenRatios()))
+	if opt > cp+1e-9 {
+		t.Errorf("LP ratios (%v) worse than proportional (%v)", opt, cp)
+	}
+	if opt > ev+1e-9 {
+		t.Errorf("LP ratios (%v) worse than even (%v)", opt, ev)
+	}
+}
+
+func TestFasterDeviceGetsLargerShare(t *testing.T) {
+	c := mixedCluster() // device 0 = A100, device 1 = P100
+	p := trainingProgram(t, c)
+	b, err := Ratios(c, p)
+	if err != nil {
+		t.Fatalf("Ratios: %v", err)
+	}
+	if b[0][0] <= b[0][1] {
+		t.Errorf("A100 share %v should exceed P100 share %v", b[0][0], b[0][1])
+	}
+}
+
+func TestSingleDeviceTrivial(t *testing.T) {
+	c := cluster.FromGPUs(cluster.DefaultNetwork(), cluster.MachineSpec{Type: cluster.A100, GPUs: 1})
+	p := trainingProgram(t, c)
+	b, err := Ratios(c, p)
+	if err != nil {
+		t.Fatalf("Ratios: %v", err)
+	}
+	if len(b[0]) != 1 || b[0][0] != 1 {
+		t.Errorf("single-device ratios = %v", b)
+	}
+}
+
+// Sec. 2.4's observation: when communication dominates, the optimum shifts
+// toward even sharding; when computation dominates, toward proportional.
+func TestOptimumBetweenEvenAndProportional(t *testing.T) {
+	c := mixedCluster()
+	p := trainingProgram(t, c)
+	model := cost.Extract(c, p)
+	b, err := RatiosFromModel(model)
+	if err != nil {
+		t.Fatalf("Ratios: %v", err)
+	}
+	cp := c.ProportionalRatios()
+	lo := 1.0 / float64(c.M())
+	for j := range b[0] {
+		hi := math.Max(cp[j], lo)
+		low := math.Min(cp[j], lo)
+		if b[0][j] < low-0.05 || b[0][j] > hi+0.05 {
+			t.Errorf("ratio %d = %v outside [even=%v, proportional=%v] band", j, b[0][j], lo, cp[j])
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package cluster describes heterogeneous GPU clusters: device types,
+// virtual devices, and the network model that collective-communication
+// costs are derived from.
+//
+// A virtual device is either one GPU or one machine whose GPUs run internal
+// data parallelism (Sec. 3 of the paper). The network model is the
+// substitute for the paper's real testbed: published peak throughputs for
+// V100/P100/A100, a 10.4 Gbps inter-machine fabric, and NVLink-class
+// intra-machine bandwidth.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeviceType is a GPU model with its peak dense fp32 throughput and memory.
+type DeviceType struct {
+	Name   string
+	TFLOPS float64 // peak dense fp32 TFLOPS
+	MemGB  float64
+}
+
+// The GPU models used in the paper's evaluation.
+var (
+	V100 = DeviceType{Name: "V100", TFLOPS: 15.7, MemGB: 16}
+	P100 = DeviceType{Name: "P100", TFLOPS: 9.3, MemGB: 12}
+	A100 = DeviceType{Name: "A100", TFLOPS: 19.5, MemGB: 40}
+)
+
+// MFUEfficiency is the fraction of peak flops a training workload achieves;
+// applied uniformly so device *ratios* (what HAP optimizes over) stay exact.
+const MFUEfficiency = 0.40
+
+// VirtualDevice is the unit HAP assigns shards to: a single GPU or a
+// machine-level group of identical GPUs running internal data parallelism.
+type VirtualDevice struct {
+	Name string
+	Type DeviceType
+	GPUs int // number of GPUs aggregated (1 = a solitary GPU)
+	// Machine is the index of the physical machine hosting this virtual
+	// device; collectives between different machines cross the slow fabric.
+	Machine int
+}
+
+// Flops returns the achievable flops/s of the virtual device.
+func (v VirtualDevice) Flops() float64 {
+	return v.Type.TFLOPS * 1e12 * MFUEfficiency * float64(v.GPUs)
+}
+
+// MemBytes returns the aggregate device memory in bytes.
+func (v VirtualDevice) MemBytes() float64 {
+	return v.Type.MemGB * 1e9 * float64(v.GPUs)
+}
+
+// Network holds the fitted-model inputs for collective costs.
+type Network struct {
+	InterBW      float64 // inter-machine bandwidth per direction, bytes/s
+	InterLatency float64 // per-hop latency for inter-machine transfers, s
+	IntraBW      float64 // intra-machine (NVLink/PCIe) bandwidth, bytes/s
+	IntraLatency float64 // intra-machine per-hop latency, s
+	// KernelOverhead is the per-kernel launch cost; grouped Broadcast pays
+	// it once per shard, which is the trade-off of Sec. 2.5.1.
+	KernelOverhead float64
+	// BroadcastFactor derates the per-broadcast achievable bandwidth
+	// relative to the optimized ring primitives (NCCL broadcasts of
+	// individually small shards do not reach ring throughput).
+	BroadcastFactor float64
+}
+
+// DefaultNetwork returns the network constants modeled on the paper's
+// testbed: 10.4 Gbps Ethernet between machines, NVLink inside.
+func DefaultNetwork() Network {
+	return Network{
+		InterBW:         10.4e9 / 8, // 1.3 GB/s
+		InterLatency:    50e-6,
+		IntraBW:         150e9,
+		IntraLatency:    5e-6,
+		KernelOverhead:  60e-6,
+		BroadcastFactor: 0.55,
+	}
+}
+
+// Cluster is the specification handed to HAP: the virtual devices and the
+// interconnect model.
+type Cluster struct {
+	Devices []VirtualDevice
+	Net     Network
+}
+
+// M returns the number of virtual devices (the paper's m).
+func (c *Cluster) M() int { return len(c.Devices) }
+
+// TotalFlops returns the aggregate achievable flops/s.
+func (c *Cluster) TotalFlops() float64 {
+	t := 0.0
+	for _, d := range c.Devices {
+		t += d.Flops()
+	}
+	return t
+}
+
+// TotalGPUs returns the number of physical GPUs across virtual devices.
+func (c *Cluster) TotalGPUs() int {
+	n := 0
+	for _, d := range c.Devices {
+		n += d.GPUs
+	}
+	return n
+}
+
+// Homogeneous reports whether all virtual devices have identical capability.
+func (c *Cluster) Homogeneous() bool {
+	for _, d := range c.Devices[1:] {
+		if d.Flops() != c.Devices[0].Flops() {
+			return false
+		}
+	}
+	return true
+}
+
+// SpansMachines reports whether the virtual devices live on more than one
+// physical machine (so collectives cross the slow fabric).
+func (c *Cluster) SpansMachines() bool {
+	for _, d := range c.Devices[1:] {
+		if d.Machine != c.Devices[0].Machine {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveBW returns the bandwidth governing a collective across all
+// virtual devices: the inter-machine fabric when the cluster spans machines,
+// the intra-machine fabric otherwise.
+func (c *Cluster) EffectiveBW() float64 {
+	if c.SpansMachines() {
+		return c.Net.InterBW
+	}
+	return c.Net.IntraBW
+}
+
+// EffectiveLatency is the per-hop latency counterpart of EffectiveBW.
+func (c *Cluster) EffectiveLatency() float64 {
+	if c.SpansMachines() {
+		return c.Net.InterLatency
+	}
+	return c.Net.IntraLatency
+}
+
+// ProportionalRatios returns sharding ratios proportional to device flops —
+// the paper's DP-CP policy and HAP's B⁽⁰⁾ initialization.
+func (c *Cluster) ProportionalRatios() []float64 {
+	out := make([]float64, c.M())
+	total := c.TotalFlops()
+	for i, d := range c.Devices {
+		out[i] = d.Flops() / total
+	}
+	return out
+}
+
+// EvenRatios returns uniform sharding ratios — the paper's DP-EV policy.
+func (c *Cluster) EvenRatios() []float64 {
+	out := make([]float64, c.M())
+	for i := range out {
+		out[i] = 1 / float64(c.M())
+	}
+	return out
+}
+
+func (c *Cluster) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d virtual devices, %d GPUs, %.1f TFLOPS achievable\n",
+		c.M(), c.TotalGPUs(), c.TotalFlops()/1e12)
+	for i, d := range c.Devices {
+		fmt.Fprintf(&b, "  [%d] %s ×%d (machine %d): %.1f TFLOPS, %.0f GB\n",
+			i, d.Type.Name, d.GPUs, d.Machine, d.Flops()/1e12, d.MemBytes()/1e9)
+	}
+	return b.String()
+}
+
+// MachineSpec describes one physical machine for the testbed builders.
+type MachineSpec struct {
+	Type DeviceType
+	GPUs int
+}
+
+// FromMachines builds a cluster with one machine-level virtual device per
+// machine, using gpusPerMachine GPUs on each (the artifact's `run_all k`).
+func FromMachines(net Network, gpusPerMachine int, machines ...MachineSpec) *Cluster {
+	c := &Cluster{Net: net}
+	for i, m := range machines {
+		k := m.GPUs
+		if gpusPerMachine > 0 && gpusPerMachine < k {
+			k = gpusPerMachine
+		}
+		c.Devices = append(c.Devices, VirtualDevice{
+			Name:    fmt.Sprintf("v%d", i+1),
+			Type:    m.Type,
+			GPUs:    k,
+			Machine: i,
+		})
+	}
+	return c
+}
+
+// FromGPUs builds a cluster with one virtual device per GPU.
+func FromGPUs(net Network, machines ...MachineSpec) *Cluster {
+	c := &Cluster{Net: net}
+	id := 0
+	for mi, m := range machines {
+		for g := 0; g < m.GPUs; g++ {
+			c.Devices = append(c.Devices, VirtualDevice{
+				Name:    fmt.Sprintf("d%d", id),
+				Type:    m.Type,
+				GPUs:    1,
+				Machine: mi,
+			})
+			id++
+		}
+	}
+	return c
+}
+
+// PaperHeterogeneous returns the paper's 8-machine heterogeneous testbed
+// (2×8 V100 + 6×8 P100) restricted to gpusPerMachine GPUs per machine,
+// as virtual machine-level devices (Sec. 7.1/7.2: 8,16,32,64 GPUs ⇔ k=1,2,4,8).
+func PaperHeterogeneous(gpusPerMachine int) *Cluster {
+	machines := []MachineSpec{
+		{V100, 8}, {V100, 8},
+		{P100, 8}, {P100, 8}, {P100, 8}, {P100, 8}, {P100, 8}, {P100, 8},
+	}
+	return FromMachines(DefaultNetwork(), gpusPerMachine, machines...)
+}
+
+// PaperHomogeneous returns the paper's homogeneous subset (4×8 P100)
+// restricted to gpusPerMachine GPUs per machine (Sec. 7.3: 8,16,24,32 GPUs
+// ⇔ k=2,4,6,8).
+func PaperHomogeneous(gpusPerMachine int) *Cluster {
+	machines := []MachineSpec{{P100, 8}, {P100, 8}, {P100, 8}, {P100, 8}}
+	return FromMachines(DefaultNetwork(), gpusPerMachine, machines...)
+}
+
+// PaperA100P100 returns the two-machine mixed testbed of Fig. 17 (one
+// machine with 2 A100s, one with 2 P100s), one virtual device per GPU.
+func PaperA100P100() *Cluster {
+	return FromGPUs(DefaultNetwork(), MachineSpec{A100, 2}, MachineSpec{P100, 2})
+}
+
+// PaperP100A100Pair returns the Fig. 2 testbed (2 P100 + 2 A100 GPUs on two
+// machines), one virtual device per GPU.
+func PaperP100A100Pair() *Cluster {
+	return FromGPUs(DefaultNetwork(), MachineSpec{P100, 2}, MachineSpec{A100, 2})
+}

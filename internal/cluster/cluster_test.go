@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperHeterogeneousShape(t *testing.T) {
+	c := PaperHeterogeneous(8)
+	if c.M() != 8 {
+		t.Fatalf("M = %d, want 8 machines", c.M())
+	}
+	if c.TotalGPUs() != 64 {
+		t.Errorf("TotalGPUs = %d, want 64", c.TotalGPUs())
+	}
+	if c.Homogeneous() {
+		t.Error("heterogeneous cluster reported homogeneous")
+	}
+	if !c.SpansMachines() {
+		t.Error("8-machine cluster should span machines")
+	}
+	// V100 machines are faster than P100 machines.
+	if c.Devices[0].Flops() <= c.Devices[2].Flops() {
+		t.Error("V100 machine should out-flop P100 machine")
+	}
+}
+
+func TestPaperHeterogeneousScaling(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8} {
+		c := PaperHeterogeneous(k)
+		if got := c.TotalGPUs(); got != 8*k {
+			t.Errorf("k=%d: TotalGPUs = %d, want %d", k, got, 8*k)
+		}
+	}
+}
+
+func TestPaperHomogeneous(t *testing.T) {
+	c := PaperHomogeneous(8)
+	if !c.Homogeneous() {
+		t.Error("P100-only cluster should be homogeneous")
+	}
+	if c.TotalGPUs() != 32 {
+		t.Errorf("TotalGPUs = %d, want 32", c.TotalGPUs())
+	}
+}
+
+func TestRatioPolicies(t *testing.T) {
+	c := PaperHeterogeneous(8)
+	for name, ratios := range map[string][]float64{"CP": c.ProportionalRatios(), "EV": c.EvenRatios()} {
+		sum := 0.0
+		for _, r := range ratios {
+			if r < 0 {
+				t.Errorf("%s: negative ratio %v", name, r)
+			}
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("%s ratios sum to %v", name, sum)
+		}
+	}
+	cp := c.ProportionalRatios()
+	if cp[0] <= cp[7] {
+		t.Error("CP should give V100 machines larger ratios than P100")
+	}
+	ev := c.EvenRatios()
+	if ev[0] != ev[7] {
+		t.Error("EV ratios should be uniform")
+	}
+}
+
+func TestProportionalEqualsEvenOnHomogeneous(t *testing.T) {
+	c := PaperHomogeneous(4)
+	cp, ev := c.ProportionalRatios(), c.EvenRatios()
+	for i := range cp {
+		if math.Abs(cp[i]-ev[i]) > 1e-12 {
+			t.Fatalf("CP != EV on homogeneous cluster at %d: %v vs %v", i, cp[i], ev[i])
+		}
+	}
+}
+
+func TestEffectiveBandwidthSelection(t *testing.T) {
+	multi := PaperHeterogeneous(8)
+	if multi.EffectiveBW() != multi.Net.InterBW {
+		t.Error("multi-machine cluster should use inter-machine bandwidth")
+	}
+	single := FromGPUs(DefaultNetwork(), MachineSpec{A100, 4})
+	if single.EffectiveBW() != single.Net.IntraBW {
+		t.Error("single-machine cluster should use intra-machine bandwidth")
+	}
+}
+
+func TestDeviceCapabilities(t *testing.T) {
+	if V100.TFLOPS <= P100.TFLOPS {
+		t.Error("V100 should be faster than P100")
+	}
+	if A100.TFLOPS <= V100.TFLOPS {
+		t.Error("A100 should be faster than V100")
+	}
+	d := VirtualDevice{Type: V100, GPUs: 8}
+	if d.Flops() != 8*V100.TFLOPS*1e12*MFUEfficiency {
+		t.Error("machine-level flops should aggregate GPUs")
+	}
+	if d.MemBytes() != 8*16e9 {
+		t.Errorf("MemBytes = %g", d.MemBytes())
+	}
+}
+
+func TestFromMachinesRestrictsGPUs(t *testing.T) {
+	c := FromMachines(DefaultNetwork(), 2, MachineSpec{V100, 8}, MachineSpec{P100, 8})
+	if c.TotalGPUs() != 4 {
+		t.Errorf("TotalGPUs = %d, want 4", c.TotalGPUs())
+	}
+}
+
+func TestPaperA100P100(t *testing.T) {
+	c := PaperA100P100()
+	if c.M() != 4 || c.TotalGPUs() != 4 {
+		t.Fatalf("want 4 single-GPU devices, got M=%d GPUs=%d", c.M(), c.TotalGPUs())
+	}
+	if c.Homogeneous() {
+		t.Error("A100+P100 should be heterogeneous")
+	}
+	if c.Devices[0].Machine == c.Devices[2].Machine {
+		t.Error("A100s and P100s should be on different machines")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := PaperHeterogeneous(8).String()
+	if len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,253 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hap/internal/cluster"
+	"hap/internal/tensor"
+)
+
+func fourGPUCluster() *cluster.Cluster {
+	return cluster.FromGPUs(cluster.DefaultNetwork(),
+		cluster.MachineSpec{Type: cluster.A100, GPUs: 2},
+		cluster.MachineSpec{Type: cluster.A100, GPUs: 2})
+}
+
+func TestTimeMonotonicInSize(t *testing.T) {
+	c := fourGPUCluster()
+	even := c.EvenRatios()
+	for _, k := range []Kind{AllReduce, PaddedAllGather, GroupedBroadcast, ReduceScatter, AllToAll} {
+		prev := 0.0
+		for _, sz := range []float64{1e4, 1e5, 1e6, 1e7} {
+			got := Time(c, k, sz, even)
+			if got <= prev {
+				t.Errorf("%v: time not increasing at %g bytes", k, sz)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestSingleDeviceIsFree(t *testing.T) {
+	c := cluster.FromGPUs(cluster.DefaultNetwork(), cluster.MachineSpec{Type: cluster.A100, GPUs: 1})
+	if got := Time(c, AllReduce, 1e6, []float64{1}); got != 0 {
+		t.Errorf("single-device collective cost %v, want 0", got)
+	}
+}
+
+// Fig. 4's qualitative claim: padded All-Gather wins at even sharding,
+// grouped Broadcast wins under heavy skew, with a crossover in between.
+func TestFig4CrossoverShape(t *testing.T) {
+	c := fourGPUCluster()
+	const bytes = 4 << 20 // the paper's 4 MB tensor
+	ratiosFor := func(maxRatio float64) []float64 {
+		rest := (1 - maxRatio) / 3
+		return []float64{maxRatio, rest, rest, rest}
+	}
+	even := ratiosFor(0.25)
+	if Time(c, PaddedAllGather, bytes, even) >= Time(c, GroupedBroadcast, bytes, even) {
+		t.Error("padded All-Gather should win at even sharding")
+	}
+	skew := ratiosFor(0.95)
+	if Time(c, PaddedAllGather, bytes, skew) <= Time(c, GroupedBroadcast, bytes, skew) {
+		t.Error("grouped Broadcast should win under heavy skew")
+	}
+	// There is a crossover: padded is increasing in skew, grouped ~flat.
+	crossed := false
+	for r := 0.25; r <= 0.99; r += 0.01 {
+		if Time(c, PaddedAllGather, bytes, ratiosFor(r)) > Time(c, GroupedBroadcast, bytes, ratiosFor(r)) {
+			crossed = true
+			if r < 0.3 || r > 0.9 {
+				t.Errorf("crossover at max ratio %.2f, expected mid-range", r)
+			}
+			break
+		}
+	}
+	if !crossed {
+		t.Error("no crossover found")
+	}
+}
+
+func TestPaddedCostDependsOnMaxShardOnly(t *testing.T) {
+	c := fourGPUCluster()
+	a := Time(c, PaddedAllGather, 1e6, []float64{0.4, 0.3, 0.2, 0.1})
+	b := Time(c, PaddedAllGather, 1e6, []float64{0.4, 0.2, 0.2, 0.2})
+	if a != b {
+		t.Errorf("padded AG cost should depend only on the largest shard: %v vs %v", a, b)
+	}
+}
+
+func TestGroupedBroadcastFlatInSkew(t *testing.T) {
+	c := fourGPUCluster()
+	a := Time(c, GroupedBroadcast, 4<<20, []float64{0.25, 0.25, 0.25, 0.25})
+	b := Time(c, GroupedBroadcast, 4<<20, []float64{0.7, 0.1, 0.1, 0.1})
+	if math.Abs(a-b)/a > 1e-9 {
+		t.Errorf("grouped broadcast should be skew-independent: %v vs %v", a, b)
+	}
+}
+
+func TestAllReduceMoreExpensiveThanAllGatherEven(t *testing.T) {
+	// All-Reduce moves ~2× the data of All-Gather in ring form.
+	c := fourGPUCluster()
+	even := c.EvenRatios()
+	ar := Time(c, AllReduce, 1e8, even)
+	ag := Time(c, PaddedAllGather, 1e8, even)
+	if ar <= ag {
+		t.Errorf("ring all-reduce (%v) should cost more than all-gather (%v)", ar, ag)
+	}
+}
+
+func TestFitRecoversLinearModel(t *testing.T) {
+	c := fourGPUCluster()
+	for _, k := range []Kind{AllReduce, PaddedAllGather, ReduceScatter} {
+		lm := Fit(c, k)
+		if lm.InvBW <= 0 {
+			t.Errorf("%v: fitted InvBW = %v", k, lm.InvBW)
+		}
+		// The ground truth is linear, so the fit must reproduce it closely.
+		even := c.EvenRatios()
+		for _, sz := range []float64{512 << 10, 8 << 20} {
+			want := Time(c, k, sz, even)
+			got := lm.Eval(MaxRatio(even) * sz)
+			if math.Abs(got-want)/want > 0.05 {
+				t.Errorf("%v @%g: fitted %v, ground truth %v", k, sz, got, want)
+			}
+		}
+	}
+}
+
+func TestDataPlaneMatchesFig1(t *testing.T) {
+	// Fig. 1 semantics on concrete values, 2 devices.
+	d1 := tensor.FromData([]float64{1, 2}, 1, 2)
+	d2 := tensor.FromData([]float64{3, 4}, 1, 2)
+
+	ag := AllGatherT([]*tensor.Tensor{d1, d2}, 0)
+	if !tensor.AllClose(ag, tensor.FromData([]float64{1, 2, 3, 4}, 2, 2), 0, 0) {
+		t.Errorf("AllGather = %v", ag.Data())
+	}
+
+	ar := AllReduceT([]*tensor.Tensor{d1, d2})
+	if !tensor.AllClose(ar, tensor.FromData([]float64{4, 6}, 1, 2), 0, 0) {
+		t.Errorf("AllReduce = %v", ar.Data())
+	}
+
+	rs := ReduceScatterT([]*tensor.Tensor{d1, d2}, 1, []int{1, 1})
+	if rs[0].At(0, 0) != 4 || rs[1].At(0, 0) != 6 {
+		t.Errorf("ReduceScatter = %v, %v", rs[0].Data(), rs[1].Data())
+	}
+}
+
+func TestReduceScatterEqualsAllReduceThenSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reps := []*tensor.Tensor{tensor.Rand(rng, 4, 6), tensor.Rand(rng, 4, 6), tensor.Rand(rng, 4, 6)}
+	rs := ReduceScatterT(reps, 1, []int{3, 2, 1})
+	full := AllReduceT(reps)
+	want := tensor.SplitSizes(full, 1, []int{3, 2, 1})
+	for i := range rs {
+		if !tensor.AllClose(rs[i], want[i], 1e-12, 1e-12) {
+			t.Errorf("shard %d mismatch", i)
+		}
+	}
+}
+
+func TestAllToAllReshards(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	full := tensor.Rand(rng, 6, 4)
+	shards := tensor.SplitSizes(full, 0, []int{2, 4})
+	out := AllToAllT(shards, 0, 1, []int{1, 3})
+	want := tensor.SplitSizes(full, 1, []int{1, 3})
+	for i := range out {
+		if !tensor.AllClose(out[i], want[i], 0, 0) {
+			t.Errorf("all-to-all shard %d mismatch", i)
+		}
+	}
+}
+
+func TestShardSizesExact(t *testing.T) {
+	cases := []struct {
+		n      int
+		ratios []float64
+	}{
+		{10, []float64{0.5, 0.5}},
+		{10, []float64{0.55, 0.45}},
+		{7, []float64{0.5, 0.5}}, // tie: either [4,3] or [3,4] is optimal
+		{1, []float64{0.9, 0.1}},
+	}
+	for _, c := range cases {
+		got := ShardSizes(c.n, c.ratios)
+		sum := 0
+		for i, g := range got {
+			sum += g
+			// Each shard within one unit of its ideal fractional size.
+			if ideal := c.ratios[i] * float64(c.n); math.Abs(float64(g)-ideal) > 1 {
+				t.Errorf("ShardSizes(%d, %v)[%d] = %d, ideal %.2f", c.n, c.ratios, i, g, ideal)
+			}
+		}
+		if sum != c.n {
+			t.Errorf("ShardSizes(%d, %v) = %v sums to %d", c.n, c.ratios, got, sum)
+		}
+	}
+	if got := ShardSizes(10, []float64{0.6, 0.4}); got[0] != 6 || got[1] != 4 {
+		t.Errorf("ShardSizes(10, [0.6 0.4]) = %v, want [6 4]", got)
+	}
+}
+
+// Property: ShardSizes always sums exactly to n with non-negative parts.
+func TestQuickShardSizesInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(1000)
+		m := 1 + rng.Intn(8)
+		ratios := make([]float64, m)
+		total := 0.0
+		for i := range ratios {
+			ratios[i] = rng.Float64() + 1e-3
+			total += ratios[i]
+		}
+		for i := range ratios {
+			ratios[i] /= total
+		}
+		sizes := ShardSizes(n, ratios)
+		sum := 0
+		for _, s := range sizes {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: data-plane AllGather∘Split is the identity for any dim/sizes.
+func TestQuickAllGatherSplitIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		full := tensor.Rand(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		d := rng.Intn(2)
+		n := full.Dim(d)
+		m := 1 + rng.Intn(3)
+		sizes := ShardSizes(n, uniformRatios(m))
+		// Drop empty shards (Concat requires non-negative, zero is fine).
+		shards := tensor.SplitSizes(full, d, sizes)
+		back := AllGatherT(shards, d)
+		return tensor.AllClose(back, full, 0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func uniformRatios(m int) []float64 {
+	r := make([]float64, m)
+	for i := range r {
+		r[i] = 1 / float64(m)
+	}
+	return r
+}

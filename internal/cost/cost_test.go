@@ -1,0 +1,183 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"hap/internal/autodiff"
+	"hap/internal/cluster"
+	"hap/internal/collective"
+	"hap/internal/dist"
+	"hap/internal/graph"
+)
+
+func mixed() *cluster.Cluster {
+	return cluster.FromGPUs(cluster.DefaultNetwork(),
+		cluster.MachineSpec{Type: cluster.V100, GPUs: 1},
+		cluster.MachineSpec{Type: cluster.P100, GPUs: 1})
+}
+
+// handProgram builds a tiny DP program by hand:
+// placeholder-shard(0); parameter; matmul; sum; ones; expand; transpose;
+// matmul(grad); all-reduce(grad).
+func handProgram(t *testing.T) (*dist.Program, *graph.Graph) {
+	t.Helper()
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 64, 32)
+	w := g.AddParameter("w", 32, 16)
+	y := g.AddOp(graph.MatMul, x, w)
+	g.SetLoss(g.AddOp(graph.Sum, y))
+	if err := autodiff.Backward(g); err != nil {
+		t.Fatal(err)
+	}
+	gw := g.Grads[w]
+	gy := g.Node(gw).Inputs[1] // aᵀ·gy
+	xt := g.Node(gw).Inputs[0]
+	ones := g.Node(gy).Inputs[0]
+	p := &dist.Program{Graph: g}
+	add := func(in dist.Instruction) { p.Instrs = append(p.Instrs, in) }
+	add(dist.Instruction{Ref: x, Op: graph.Placeholder, ShardDim: 0})
+	add(dist.Instruction{Ref: w, Op: graph.Parameter, ShardDim: -1})
+	add(dist.Instruction{Ref: y, Op: graph.MatMul, Inputs: []graph.NodeID{x, w}, ShardDim: -1, FlopsScaled: true})
+	add(dist.Instruction{Ref: g.Loss, Op: graph.Sum, Inputs: []graph.NodeID{y}, ShardDim: -1, FlopsScaled: true})
+	add(dist.Instruction{Ref: ones, Op: graph.Ones, ShardDim: -1})
+	add(dist.Instruction{Ref: gy, Op: graph.Expand, Inputs: []graph.NodeID{ones}, ShardDim: 0, FlopsScaled: true})
+	add(dist.Instruction{Ref: xt, Op: graph.Transpose, Inputs: []graph.NodeID{x}, ShardDim: -1, FlopsScaled: true})
+	add(dist.Instruction{Ref: gw, Op: graph.MatMul, Inputs: []graph.NodeID{xt, gy}, ShardDim: -1, FlopsScaled: true})
+	add(dist.Comm(gw, collective.AllReduce, 0, 0))
+	return p, g
+}
+
+func TestStagesSplit(t *testing.T) {
+	p, _ := handProgram(t)
+	st := Stages(p)
+	if len(st) != 2 {
+		t.Fatalf("stages = %d, want 2", len(st))
+	}
+	if st[0].Comm != nil || len(st[0].Comps) != 8 {
+		t.Errorf("leading stage malformed: comm=%v comps=%d", st[0].Comm, len(st[0].Comps))
+	}
+	if st[1].Comm == nil || len(st[1].Comps) != 0 {
+		t.Errorf("comm stage malformed")
+	}
+}
+
+func TestEvaluateMatchesManualComputation(t *testing.T) {
+	p, g := handProgram(t)
+	c := mixed()
+	b := UniformRatios(1, []float64{0.6, 0.4})
+	got := Evaluate(c, p, b)
+
+	// Manual: comp stage = max_j Σ flops·B_j/speed_j; comm = ring AR.
+	flops := 0.0
+	for _, in := range p.Instrs {
+		if !in.IsComm {
+			flops += g.Flops(in.Ref)
+		}
+	}
+	comp0 := flops * 0.6 / c.Devices[0].Flops()
+	comp1 := flops * 0.4 / c.Devices[1].Flops()
+	comm := collective.Time(c, collective.AllReduce, g.Bytes(g.Grads[g.Params[0]]), b[0])
+	want := math.Max(comp0, comp1) + comm
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("Evaluate = %v, manual = %v", got, want)
+	}
+}
+
+func TestStageModelEvalConsistent(t *testing.T) {
+	p, _ := handProgram(t)
+	c := mixed()
+	model := Extract(c, p)
+	for _, b := range [][][]float64{
+		UniformRatios(1, []float64{0.5, 0.5}),
+		UniformRatios(1, []float64{0.8, 0.2}),
+	} {
+		if got, want := model.Eval(b), Evaluate(c, p, b); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Eval=%v Evaluate=%v for %v", got, want, b[0])
+		}
+	}
+}
+
+func TestReplicatedCompIsRatioIndependent(t *testing.T) {
+	p, _ := handProgram(t)
+	// Flip all comps to replicated: comp time must not change with ratios.
+	for i := range p.Instrs {
+		p.Instrs[i].FlopsScaled = false
+	}
+	c := mixed()
+	model := Extract(c, p)
+	a := model.Eval(UniformRatios(1, []float64{0.5, 0.5}))
+	b := model.Eval(UniformRatios(1, []float64{0.9, 0.1}))
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("replicated program cost varies with ratios: %v vs %v", a, b)
+	}
+}
+
+func TestIntraPenaltyOnlyForMachineDevices(t *testing.T) {
+	p, g := handProgram(t)
+	single := mixed()
+	machines := cluster.FromMachines(cluster.DefaultNetwork(), 8,
+		cluster.MachineSpec{Type: cluster.V100, GPUs: 8},
+		cluster.MachineSpec{Type: cluster.P100, GPUs: 8})
+	b := UniformRatios(1, []float64{0.5, 0.5})
+	acc1 := make([]float64, 2)
+	acc2 := make([]float64, 2)
+	comm := p.Instrs[len(p.Instrs)-1]
+	AddIntraPenalty(single, g, comm, b, acc1)
+	AddIntraPenalty(machines, g, comm, b, acc2)
+	if acc1[0] != 0 {
+		t.Error("single-GPU devices should pay no intra penalty")
+	}
+	if acc2[0] <= 0 {
+		t.Error("machine devices should pay an intra penalty")
+	}
+}
+
+func TestMemoryAndOOM(t *testing.T) {
+	p, g := handProgram(t)
+	c := mixed()
+	b := UniformRatios(1, []float64{0.5, 0.5})
+	mem := MemoryPerDevice(c, p, b)
+	if mem[0] <= 0 {
+		t.Fatal("no memory accounted")
+	}
+	// Parameters count OptimizerStates times.
+	wBytes := g.Bytes(g.Params[0])
+	if mem[0] < wBytes*OptimizerStates {
+		t.Errorf("memory %v below parameter+optimizer floor %v", mem[0], wBytes*OptimizerStates)
+	}
+	if OOM(c, p, b) {
+		t.Error("tiny model should fit")
+	}
+}
+
+func TestBoundaryChargesOnlyAcrossSegments(t *testing.T) {
+	p, g := handProgram(t)
+	c := mixed()
+	if n := len(Extract(c, p).Charges); n != 0 {
+		t.Fatalf("unsegmented graph has %d boundary charges", n)
+	}
+	// Split right after the forward matmul so its (non-leaf) output crosses
+	// the boundary into the loss segment.
+	g.SegmentOf = make([]int, g.NumNodes())
+	for i := 3; i < g.NumNodes(); i++ {
+		g.SegmentOf[i] = 1
+	}
+	if n := len(Extract(c, p).Charges); n == 0 {
+		t.Error("segmented graph should have boundary charges")
+	}
+}
+
+func TestGroupedBroadcastRatioIndependentInModel(t *testing.T) {
+	p, g := handProgram(t)
+	p.Instrs[len(p.Instrs)-1] = dist.Comm(g.Grads[g.Params[0]], collective.GroupedBroadcast, 0, 0)
+	c := mixed()
+	model := Extract(c, p)
+	last := model.Stages[len(model.Stages)-1]
+	if last.CommMaxCoef != 0 {
+		t.Errorf("grouped broadcast should have no max-ratio coefficient, got %v", last.CommMaxCoef)
+	}
+	if last.CommConst <= 0 {
+		t.Error("grouped broadcast should have positive constant cost")
+	}
+}

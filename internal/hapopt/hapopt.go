@@ -1,0 +1,153 @@
+// Package hapopt runs HAP's alternating optimization loop (Sec. 3.1):
+//
+//	B⁽⁰⁾ ∝ device compute power
+//	Q⁽ˢ⁾ = argmin_Q t(Q, B⁽ˢ⁻¹⁾)   (program synthesizer)
+//	B⁽ˢ⁾ = argmin_B t(Q⁽ˢ⁾, B)     (load balancer LP)
+//
+// iterated until convergence or oscillation; on oscillation the best (Q,B)
+// pair seen is returned. This package is HAP's top-level optimizer.
+package hapopt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hap/internal/balance"
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/dist"
+	"hap/internal/graph"
+	"hap/internal/segment"
+	"hap/internal/synth"
+	"hap/internal/theory"
+)
+
+// Options configures the optimization loop.
+type Options struct {
+	// MaxIterations bounds the alternation count (0 = 4, matching the
+	// paper's observation that the loop converges or oscillates quickly).
+	MaxIterations int
+	// Segments requests per-segment sharding ratios (0 = single segment).
+	Segments int
+	// Synth forwards synthesizer options.
+	Synth synth.Options
+	// SkipBalance freezes B at B⁽⁰⁾ (ablation "Q" of Sec. 7.4).
+	SkipBalance bool
+	// InitialRatios overrides B⁽⁰⁾ (default: proportional to device flops).
+	InitialRatios []float64
+}
+
+// Result is the optimized plan.
+type Result struct {
+	Program *dist.Program
+	Ratios  [][]float64 // [segment][device]
+	Cost    float64     // modeled t(Q,B), seconds per iteration
+	Iters   int
+	Elapsed time.Duration
+	Synth   synth.Stats // stats of the final synthesis
+}
+
+// Optimize runs the full HAP pipeline on a training graph and cluster.
+func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.MaxIterations == 0 {
+		opt.MaxIterations = 4
+	}
+	if opt.Segments > 1 {
+		segment.Assign(g, opt.Segments)
+	} else {
+		g.SegmentOf = nil
+	}
+	th := theory.New(g)
+
+	init := opt.InitialRatios
+	if init == nil {
+		init = c.ProportionalRatios()
+	}
+	b := cost.UniformRatios(g.NumSegments(), init)
+
+	// Portfolio theories: the beam search is myopic about strategies whose
+	// payoff comes much later (expert parallelism pays an All-To-All up
+	// front to avoid expert-gradient synchronization entirely), so for MoE
+	// graphs we additionally search a theory restricted to expert-parallel
+	// rules and keep whichever plan costs less. Exact A* subsumes this; the
+	// beam needs the hint (see DESIGN.md).
+	portfolio := []*theory.Theory{th}
+	if hasExperts(g) {
+		portfolio = append(portfolio, th.Filter(func(tr *theory.Triple) bool {
+			switch g.Node(tr.Node).Kind {
+			case graph.ExpertMM, graph.ExpertMMGradX, graph.ExpertMMGradW:
+				return tr.Out.Kind == theory.Gather && tr.Out.Dim == 0
+			}
+			return true
+		}))
+	}
+
+	var best *Result
+	seen := map[string]bool{}
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		var p *dist.Program
+		var stats synth.Stats
+		for _, t := range portfolio {
+			cp, cs, err := synth.Synthesize(g, t, c, b, opt.Synth)
+			if err != nil {
+				if t == th {
+					return nil, fmt.Errorf("hapopt: iteration %d: %w", iter, err)
+				}
+				continue
+			}
+			if p == nil || cs.Cost < stats.Cost {
+				p, stats = cp, cs
+			}
+		}
+		model := cost.Extract(c, p)
+		if !opt.SkipBalance {
+			nb, err := balance.RatiosFromModel(model)
+			if err != nil {
+				return nil, fmt.Errorf("hapopt: iteration %d: %w", iter, err)
+			}
+			b = nb
+		}
+		t := model.Eval(b)
+		if best == nil || t < best.Cost {
+			best = &Result{Program: p, Ratios: cloneRatios(b), Cost: t, Iters: iter, Synth: stats}
+		}
+		// Convergence / oscillation detection on the (program, ratios) pair.
+		key := p.String() + ratiosKey(b)
+		if seen[key] {
+			break
+		}
+		seen[key] = true
+	}
+	best.Elapsed = time.Since(start)
+	return best, nil
+}
+
+func hasExperts(g *graph.Graph) bool {
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind == graph.ExpertMM {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneRatios(b [][]float64) [][]float64 {
+	out := make([][]float64, len(b))
+	for i := range b {
+		out[i] = append([]float64(nil), b[i]...)
+	}
+	return out
+}
+
+func ratiosKey(b [][]float64) string {
+	s := ""
+	for _, row := range b {
+		for _, v := range row {
+			s += fmt.Sprintf("%.4f,", math.Round(v*1e4)/1e4)
+		}
+		s += ";"
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package hapopt
+
+import (
+	"testing"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/models"
+	"hap/internal/runtime"
+	"hap/internal/segment"
+)
+
+func hetero2() *cluster.Cluster {
+	return cluster.FromGPUs(cluster.DefaultNetwork(),
+		cluster.MachineSpec{Type: cluster.V100, GPUs: 2},
+		cluster.MachineSpec{Type: cluster.P100, GPUs: 2})
+}
+
+func TestOptimizeMLP(t *testing.T) {
+	g := models.Training(models.MLP(256, 64, 128, 64, 10))
+	c := hetero2()
+	res, err := Optimize(g, c, Options{})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	if res.Program == nil || len(res.Program.Instrs) == 0 {
+		t.Fatal("no program")
+	}
+	if got := cost.Evaluate(c, res.Program, res.Ratios); got != res.Cost {
+		t.Errorf("reported cost %v != evaluated %v", res.Cost, got)
+	}
+}
+
+func TestIterativeNoWorseThanSinglePass(t *testing.T) {
+	g := models.Training(models.MLP(256, 64, 128, 64, 10))
+	c := hetero2()
+	single, err := Optimize(g, c, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	iterated, err := Optimize(g, c, Options{MaxIterations: 4})
+	if err != nil {
+		t.Fatalf("iterated: %v", err)
+	}
+	if iterated.Cost > single.Cost+1e-12 {
+		t.Errorf("iterated cost %v worse than single-pass %v", iterated.Cost, single.Cost)
+	}
+}
+
+func TestSkipBalanceAblation(t *testing.T) {
+	g := models.Training(models.MLP(256, 64, 128, 64, 10))
+	c := hetero2()
+	full, err := Optimize(g, c, Options{})
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	noB, err := Optimize(g, c, Options{SkipBalance: true})
+	if err != nil {
+		t.Fatalf("noB: %v", err)
+	}
+	if full.Cost > noB.Cost+1e-12 {
+		t.Errorf("full HAP (%v) worse than Q-only ablation (%v)", full.Cost, noB.Cost)
+	}
+	// Without balancing the ratios must remain B⁽⁰⁾ (proportional).
+	cp := c.ProportionalRatios()
+	for j, v := range noB.Ratios[0] {
+		if diff := v - cp[j]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("SkipBalance changed ratios: %v vs %v", noB.Ratios[0], cp)
+			break
+		}
+	}
+}
+
+func TestSegmentedOptimization(t *testing.T) {
+	g := models.Training(models.MLP(256, 64, 128, 128, 64, 10))
+	c := hetero2()
+	res, err := Optimize(g, c, Options{Segments: 3})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(res.Ratios) != g.NumSegments() {
+		t.Errorf("ratio rows %d != segments %d", len(res.Ratios), g.NumSegments())
+	}
+}
+
+func TestSegmentAssignInvariants(t *testing.T) {
+	g := models.Training(models.MLP(64, 32, 32, 32, 32, 10))
+	segment.Assign(g, 3)
+	if len(g.SegmentOf) != g.NumNodes() {
+		t.Fatalf("SegmentOf length %d != %d nodes", len(g.SegmentOf), g.NumNodes())
+	}
+	// Parameters and their gradients share a segment.
+	for p, gr := range g.Grads {
+		// A parameter's segment is its first consumer's; the invariant we
+		// need is grad-side: backward nodes inherit the primal's segment.
+		if g.Segment(gr) >= g.NumSegments() {
+			t.Errorf("grad %d has out-of-range segment", gr)
+		}
+		_ = p
+	}
+	// Forward segments are monotone non-decreasing.
+	prev := 0
+	for i := 0; i < g.ForwardCount; i++ {
+		s := g.SegmentOf[i]
+		if s < prev {
+			t.Errorf("forward segments not contiguous at node %d", i)
+		}
+		if s > prev {
+			prev = s
+		}
+	}
+}
+
+// End-to-end semantic check through the full pipeline: the optimized plan
+// (including LP-chosen, possibly very uneven ratios and per-segment rows)
+// must still compute exactly what the single-device program computes.
+func TestOptimizedPlanNumericallyEquivalent(t *testing.T) {
+	for _, segments := range []int{1, 2} {
+		g := models.Training(models.MLP(24, 8, 12, 6))
+		c := hetero2()
+		res, err := Optimize(g, c, Options{Segments: segments})
+		if err != nil {
+			t.Fatalf("segments=%d: Optimize: %v", segments, err)
+		}
+		if err := runtime.VerifyEquivalence(res.Program, c.M(), res.Ratios, 17); err != nil {
+			t.Errorf("segments=%d: %v\n%s", segments, err, res.Program)
+		}
+	}
+}
+
+func TestOptimizeHeterogeneousBeatsEvenDP(t *testing.T) {
+	// On a heterogeneous cluster HAP's plan should beat naive even ratios
+	// applied to the same program.
+	g := models.Training(models.MLP(512, 256, 256, 256, 10))
+	c := hetero2()
+	res, err := Optimize(g, c, Options{})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	ev := cost.Evaluate(c, res.Program, cost.UniformRatios(len(res.Ratios), c.EvenRatios()))
+	if res.Cost > ev+1e-12 {
+		t.Errorf("HAP ratios (%v) worse than even ratios (%v) on its own program", res.Cost, ev)
+	}
+}

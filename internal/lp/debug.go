@@ -1,0 +1,4 @@
+package lp
+
+// SetDebug toggles simplex iteration logging (diagnostic use only).
+func SetDebug(v bool) { debugLP = v }

@@ -1,0 +1,297 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  Aᵢ x {≤,=,≥} bᵢ,  x ≥ 0.
+//
+// It is the stand-in for the Coin CBC solver the paper uses for sharding-
+// ratio optimization (Sec. 5); the ratio LPs are small (tens to hundreds of
+// variables), well inside dense-simplex territory, and are solved exactly.
+// Bland's rule guards against cycling.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // ≤
+	EQ           // =
+	GE           // ≥
+)
+
+// Constraint is one row: coefficient map over variable indices, relation,
+// and right-hand side.
+type Constraint struct {
+	Coefs map[int]float64
+	Op    Op
+	RHS   float64
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	numVars     int
+	objective   []float64
+	constraints []Constraint
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar introduces a variable with the given objective coefficient and
+// returns its index. All variables are non-negative.
+func (p *Problem) AddVar(objCoef float64) int {
+	p.objective = append(p.objective, objCoef)
+	p.numVars++
+	return p.numVars - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// AddConstraint appends a constraint. Coefs is copied.
+func (p *Problem) AddConstraint(coefs map[int]float64, op Op, rhs float64) {
+	cp := make(map[int]float64, len(coefs))
+	for k, v := range coefs {
+		if k < 0 || k >= p.numVars {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", k))
+		}
+		cp[k] = v
+	}
+	p.constraints = append(p.constraints, Constraint{Coefs: cp, Op: op, RHS: rhs})
+}
+
+// Result is a solved LP.
+type Result struct {
+	X         []float64
+	Objective float64
+}
+
+const (
+	eps      = 1e-9
+	enterEps = 1e-7 // noise-robust entering threshold
+)
+
+var debugLP = false
+
+// Solve runs two-phase simplex and returns the optimum, or an error for
+// infeasible or unbounded problems. Highly degenerate problems that stall
+// despite Bland's rule are retried with a deterministic lexicographic-style
+// RHS perturbation, which breaks ties at a negligible accuracy cost.
+func (p *Problem) Solve() (*Result, error) {
+	res, err := p.solve(0)
+	for _, perturb := range []float64{1e-7, 1e-5} {
+		if err == nil || err.Error() != "lp: iteration limit" {
+			break
+		}
+		res, err = p.solve(perturb)
+	}
+	return res, err
+}
+
+func (p *Problem) solve(perturb float64) (*Result, error) {
+	n := p.numVars
+	mRows := len(p.constraints)
+
+	// Normalize to equalities with slack/surplus, RHS ≥ 0, then add
+	// artificials for rows lacking an obvious basic variable.
+	type row struct {
+		coefs []float64
+		rhs   float64
+		op    Op
+	}
+	rows := make([]row, mRows)
+	numSlacks := 0
+	for i, c := range p.constraints {
+		scale := 1.0 + abs(c.RHS)
+		r := row{coefs: make([]float64, n), rhs: c.RHS + perturb*scale*float64(i+1)/float64(mRows+1), op: c.Op}
+		for k, v := range c.Coefs {
+			r.coefs[k] = v
+		}
+		if r.rhs < 0 { // flip to make RHS non-negative
+			for k := range r.coefs {
+				r.coefs[k] = -r.coefs[k]
+			}
+			r.rhs = -r.rhs
+			switch r.op {
+			case LE:
+				r.op = GE
+			case GE:
+				r.op = LE
+			}
+		}
+		if r.op != EQ {
+			numSlacks++
+		}
+		rows[i] = r
+	}
+
+	// Column layout: [x (n)] [slacks] [artificials] | rhs.
+	totalCols := n + numSlacks + mRows // upper bound on artificials
+	tab := make([][]float64, mRows)
+	basis := make([]int, mRows)
+	slackCol := n
+	artCol := n + numSlacks
+	numArts := 0
+	for i := range rows {
+		tab[i] = make([]float64, totalCols+1)
+		copy(tab[i], rows[i].coefs)
+		tab[i][totalCols] = rows[i].rhs
+		switch rows[i].op {
+		case LE:
+			tab[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			tab[i][slackCol] = -1
+			slackCol++
+			tab[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+			numArts++
+		case EQ:
+			tab[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+			numArts++
+		}
+	}
+	usedCols := artCol
+
+	pivot := func(r, c int) {
+		pv := tab[r][c]
+		for j := 0; j <= totalCols; j++ {
+			tab[r][j] /= pv
+		}
+		for i := range tab {
+			if i == r || math.Abs(tab[i][c]) < eps {
+				continue
+			}
+			f := tab[i][c]
+			for j := 0; j <= totalCols; j++ {
+				tab[i][j] -= f * tab[r][j]
+			}
+		}
+		basis[r] = c
+	}
+
+	// simplex minimizes obj over the current tableau. allowed bounds the
+	// columns eligible to enter. Bland's rule on both the entering column
+	// (smallest index with negative reduced cost) and the leaving row
+	// (smallest basis index among exact min-ratio rows) prevents cycling.
+	simplex := func(obj []float64, allowed int) error {
+		for iter := 0; iter < 200000; iter++ {
+			entering := -1
+			for j := 0; j < allowed; j++ {
+				z := obj[j]
+				for i := range tab {
+					if b := basis[i]; b < len(obj) && obj[b] != 0 {
+						z -= obj[b] * tab[i][j]
+					}
+				}
+				if z < -enterEps {
+					entering = j // Bland: first eligible column
+					break
+				}
+			}
+			if entering == -1 {
+				return nil
+			}
+			if debugLP && iter%5000 == 0 {
+				obj0 := 0.0
+				for i := range tab {
+					if b := basis[i]; b < len(obj) {
+						obj0 += obj[b] * tab[i][totalCols]
+					}
+				}
+				fmt.Printf("iter=%d entering=%d obj=%.9g\n", iter, entering, obj0)
+			}
+			// Exact minimum ratio first, then Bland tie-break.
+			minRatio := math.Inf(1)
+			for i := range tab {
+				if tab[i][entering] > eps {
+					if r := tab[i][totalCols] / tab[i][entering]; r < minRatio {
+						minRatio = r
+					}
+				}
+			}
+			if math.IsInf(minRatio, 1) {
+				return fmt.Errorf("lp: unbounded")
+			}
+			leaving := -1
+			for i := range tab {
+				if tab[i][entering] > eps {
+					r := tab[i][totalCols] / tab[i][entering]
+					if r <= minRatio+eps && (leaving == -1 || basis[i] < basis[leaving]) {
+						leaving = i
+					}
+				}
+			}
+			pivot(leaving, entering)
+		}
+		return fmt.Errorf("lp: iteration limit")
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if numArts > 0 {
+		phase1 := make([]float64, usedCols)
+		for j := n + numSlacks; j < usedCols; j++ {
+			phase1[j] = 1
+		}
+		if err := simplex(phase1, usedCols); err != nil {
+			return nil, err
+		}
+		infeas := 0.0
+		for i := range tab {
+			if basis[i] >= n+numSlacks {
+				infeas += tab[i][totalCols]
+			}
+		}
+		if infeas > 1e-6 {
+			return nil, fmt.Errorf("lp: infeasible (residual %g)", infeas)
+		}
+		// Drive artificials out of the basis where possible.
+		for i := range tab {
+			if basis[i] < n+numSlacks {
+				continue
+			}
+			for j := 0; j < n+numSlacks; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(i, j)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective over structural+slack columns.
+	phase2 := make([]float64, n+numSlacks)
+	copy(phase2, p.objective)
+	if err := simplex(phase2, n+numSlacks); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][totalCols]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.objective[j] * x[j]
+	}
+	return &Result{X: x, Objective: obj}, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

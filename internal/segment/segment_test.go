@@ -1,0 +1,85 @@
+package segment
+
+import (
+	"testing"
+
+	"hap/internal/graph"
+	"hap/internal/models"
+)
+
+func TestAssignBasics(t *testing.T) {
+	g := models.Training(models.MLP(64, 32, 32, 32, 32, 10))
+	Assign(g, 3)
+	if got := g.NumSegments(); got != 3 {
+		t.Errorf("NumSegments = %d, want 3", got)
+	}
+	if len(g.SegmentOf) != g.NumNodes() {
+		t.Fatalf("SegmentOf covers %d of %d nodes", len(g.SegmentOf), g.NumNodes())
+	}
+}
+
+func TestForwardSegmentsContiguous(t *testing.T) {
+	g := models.Training(models.MLP(64, 32, 32, 32, 10))
+	Assign(g, 4)
+	prev := 0
+	for i := 0; i < g.ForwardCount; i++ {
+		s := g.SegmentOf[i]
+		if s < prev || s > prev+1 {
+			t.Fatalf("forward segment jumps from %d to %d at node %d", prev, s, i)
+		}
+		prev = s
+	}
+}
+
+func TestBackwardInheritsPrimalSegment(t *testing.T) {
+	g := models.Training(models.MLP(64, 32, 32, 32, 10))
+	Assign(g, 3)
+	for i := g.ForwardCount; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		p, ok := g.PrimalOf[id]
+		if !ok {
+			continue
+		}
+		if g.SegmentOf[i] != g.SegmentOf[p] {
+			t.Errorf("backward node %d in segment %d, primal %d in %d",
+				i, g.SegmentOf[i], p, g.SegmentOf[p])
+		}
+	}
+}
+
+func TestParamAndGradShareSegment(t *testing.T) {
+	// The invariant the load balancer relies on: a parameter's gradient has
+	// the same sharding-ratio row. Parameters sit in the segment of their
+	// first consumer; their gradient inherits the consumer's (primal's)
+	// segment via PrimalOf.
+	g := models.Training(models.MLP(64, 32, 32, 32, 10))
+	Assign(g, 3)
+	for p, gr := range g.Grads {
+		consumers := g.Consumers()[p]
+		if len(consumers) == 0 {
+			continue
+		}
+		want := g.Segment(consumers[0])
+		if got := g.Segment(gr); got != want {
+			t.Errorf("param e%d: grad segment %d != forward-consumer segment %d", p, got, want)
+		}
+	}
+}
+
+func TestMoreSegmentsThanNodesClamps(t *testing.T) {
+	g := models.Training(models.MLP(8, 4, 2))
+	Assign(g, 1000)
+	if g.NumSegments() > g.NumNodes() {
+		t.Errorf("segments %d exceed nodes %d", g.NumSegments(), g.NumNodes())
+	}
+}
+
+func TestSingleSegment(t *testing.T) {
+	g := models.Training(models.MLP(8, 4, 2))
+	Assign(g, 1)
+	for _, s := range g.SegmentOf {
+		if s != 0 {
+			t.Fatal("single segment assignment not uniform")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package sim is the testbed substitute: it "runs" a distributed program on
+// the modeled cluster and reports the actual per-iteration time, including
+// the effects the analytic cost model of Sec. 3.2 deliberately ignores —
+// per-kernel launch overhead, per-stage barrier synchronization, and slow
+// multiplicative link-efficiency noise. The analytic model therefore
+// under-estimates the simulated time while remaining strongly correlated
+// with it, which is exactly the relationship Fig. 18 reports against the
+// real testbed.
+//
+// The simulator also emits Chrome-trace JSON like the artifact's
+// trace.json.gz for inspection in the Chrome tracing UI.
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/dist"
+)
+
+// Options tunes the simulated overheads.
+type Options struct {
+	// KernelOverhead is charged per computation instruction per device
+	// (default 8µs, a typical CUDA launch).
+	KernelOverhead float64
+	// BarrierOverhead is charged per synchronization stage (default 25µs).
+	BarrierOverhead float64
+	// NoiseSigma is the relative σ of the per-collective efficiency noise
+	// (default 0.03). Zero disables noise.
+	NoiseSigma float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.KernelOverhead == 0 {
+		o.KernelOverhead = 8e-6
+	}
+	if o.BarrierOverhead == 0 {
+		o.BarrierOverhead = 25e-6
+	}
+	if o.NoiseSigma == 0 {
+		o.NoiseSigma = 0.03
+	}
+}
+
+// TraceEvent is one Chrome-trace "X" (complete) event.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// Result of a simulated training iteration.
+type Result struct {
+	// Time is the simulated per-iteration wall time in seconds.
+	Time float64
+	// CommTime is the portion spent in collectives (on the critical path).
+	CommTime float64
+	// Events is the Chrome-trace timeline.
+	Events []TraceEvent
+}
+
+// Run simulates one training iteration of program p under ratios b.
+func Run(c *cluster.Cluster, p *dist.Program, b [][]float64, opt Options) *Result {
+	opt.defaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	g := p.Graph
+	m := c.M()
+	res := &Result{}
+
+	clock := 0.0 // global (stage-synchronized) time, seconds
+	emit := func(name, cat string, dev int, start, dur float64) {
+		res.Events = append(res.Events, TraceEvent{
+			Name: name, Cat: cat, Ph: "X",
+			TS: start * 1e6, Dur: dur * 1e6, PID: 0, TID: dev,
+		})
+	}
+
+	for _, st := range cost.Stages(p) {
+		stageStart := clock
+		commDur := 0.0
+		if st.Comm != nil && m > 1 {
+			commDur = cost.CommTime(c, g, *st.Comm, b)
+			if opt.NoiseSigma > 0 {
+				commDur *= 1 + opt.NoiseSigma*rng.NormFloat64()
+				if commDur < 0 {
+					commDur = 0
+				}
+			}
+			for j := 0; j < m; j++ {
+				emit(st.Comm.String(), "comm", j, stageStart, commDur)
+			}
+			res.CommTime += commDur
+		}
+		// Per-device computation, including intra-machine aggregation and
+		// per-kernel launch overheads.
+		comp := make([]float64, m)
+		if st.Comm != nil {
+			cost.AddIntraPenalty(c, g, *st.Comm, b, comp)
+		}
+		for _, in := range st.Comps {
+			seg := g.Segment(in.Ref)
+			flops := g.Flops(in.Ref)
+			for j, d := range c.Devices {
+				f := flops
+				if in.FlopsScaled {
+					f *= b[seg][j]
+				}
+				dur := f/d.Flops() + opt.KernelOverhead
+				emit(in.String(), "comp", j, stageStart+commDur+comp[j], dur)
+				comp[j] += dur
+			}
+		}
+		worst := 0.0
+		for _, v := range comp {
+			if v > worst {
+				worst = v
+			}
+		}
+		clock = stageStart + commDur + worst + opt.BarrierOverhead
+	}
+	res.Time = clock
+	return res
+}
+
+// IterationTime is the scalar convenience wrapper used by the experiments.
+func IterationTime(c *cluster.Cluster, p *dist.Program, b [][]float64, seed int64) float64 {
+	return Run(c, p, b, Options{Seed: seed}).Time
+}
+
+// WriteTrace writes the Chrome-trace JSON ({"traceEvents": [...]}).
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	return json.NewEncoder(w).Encode(map[string]interface{}{"traceEvents": events})
+}

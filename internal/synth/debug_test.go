@@ -1,0 +1,127 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/graph"
+	"hap/internal/models"
+	"hap/internal/theory"
+)
+
+// TestDebugVGGBeam is a diagnostic: it reports where beam threads stall on a
+// model-scale graph. Run with -run TestDebugVGGBeam -v.
+func TestDebugVGGBeam(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	g := models.Build(models.ModelVGG19, 8)
+	c := cluster.PaperHeterogeneous(1)
+	b := cost.UniformRatios(1, c.ProportionalRatios())
+	th := theory.New(g)
+	sy := New(g, th, c, b, Options{BeamWidth: 16})
+
+	root := &state{
+		computed:     make([]uint64, sy.words),
+		communicated: make([]uint64, sy.words),
+		placed:       make([]int8, g.NumNodes()),
+		openComp:     make([]float64, sy.c.M()),
+		lastComp:     -1,
+	}
+	for i := range root.placed {
+		root.placed[i] = unplaced
+	}
+
+	level := []*state{root}
+	for depth := 0; depth < 3*g.NumNodes()+100 && len(level) > 0; depth++ {
+		visited := map[uint64]float64{}
+		var next []*state
+		for _, s := range level {
+			for _, ns := range sy.expandFrom(s, false) {
+				if ns.complete {
+					t.Logf("complete at depth %d", depth)
+					return
+				}
+				k := ns.key()
+				ec := ns.effCost()
+				if prev, ok := visited[k]; ok && prev <= ec {
+					continue
+				}
+				visited[k] = ec
+				next = append(next, ns)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return sy.score(next[i]) < sy.score(next[j]) })
+		if len(next) > 16 {
+			next = next[:16]
+		}
+		if len(next) == 0 {
+			s := level[0]
+			nc := 0
+			var firstBlocked string
+			for i := range g.Nodes {
+				id := graph.NodeID(i)
+				if th.Required[id] && !bitGet(s.computed, id) && !theory.IsLeaf(g.Node(id).Kind) {
+					nc++
+					if firstBlocked == "" {
+						n := g.Node(id)
+						var inKinds []string
+						for _, in := range n.Inputs {
+							inKinds = append(inKinds, fmt.Sprintf("e%d:%v", in, g.Node(in).Kind))
+						}
+						firstBlocked = fmt.Sprintf("e%d %v inputs=%v ready=%v triples=%d",
+							id, n.Kind, inKinds, sy.ready(s, id), len(th.ByNode[id]))
+					}
+				}
+			}
+			t.Logf("stalled at depth %d: %d uncomputed required nodes; first: %s", depth, nc, firstBlocked)
+			for _, o := range th.Outputs {
+				if sy.outputAcceptable(s, o) {
+					continue
+				}
+				pd := int8(-9)
+				if o.Param >= 0 {
+					pd = s.placed[o.Param]
+				}
+				t.Logf("UNACCEPTABLE output e%d (param e%d placed=%d) comm=%v kind=%v",
+					o.Ref, o.Param, pd, bitGet(s.communicated, o.Ref), g.Node(o.Ref).Kind)
+				for _, p := range s.props {
+					if p.Ref == o.Ref {
+						t.Logf("    prop %v", p)
+					}
+				}
+			}
+			for i := range g.Nodes {
+				id := graph.NodeID(i)
+				if th.Required[id] && !bitGet(s.computed, id) && !theory.IsLeaf(g.Node(id).Kind) {
+					n := g.Node(id)
+					t.Logf("uncomputed e%d %v inputs=%v", id, n.Kind, n.Inputs)
+					for _, tr := range th.ByNode[id] {
+						ok := true
+						for _, p := range tr.Pre {
+							if !s.hasProp(p) {
+								ok = false
+							}
+						}
+						t.Logf("  triple pre=%v leaf=%v out=%v preOK=%v", tr.Pre, tr.LeafPre, tr.Out, ok)
+					}
+					for _, in := range n.Inputs {
+						t.Logf("  input e%d kind=%v computed=%v placed=%d comm=%v",
+							in, g.Node(in).Kind, bitGet(s.computed, in), s.placed[in], bitGet(s.communicated, in))
+						for _, p := range s.props {
+							if p.Ref == in {
+								t.Logf("    prop %v", p)
+							}
+						}
+					}
+				}
+			}
+			return
+		}
+		level = next
+	}
+	t.Log("levels exhausted without completion or stall")
+}

@@ -1,0 +1,763 @@
+// Package synth implements HAP's distributed-program synthesizer: the
+// A*-based search of Fig. 10 over the background theory of Sec. 4.2.
+//
+// Starting from the empty program, the search appends instructions whose
+// Hoare-triple preconditions hold, until every required output (the loss and
+// each parameter gradient) is materialized acceptably. States are partial
+// programs summarized by their property sets; exact-duplicate states keep
+// the cheaper program, and strictly-worse states are pruned (lines 9–14 of
+// Fig. 10).
+//
+// The three search-time optimizations of Sec. 4.5 are implemented as:
+//
+//  1. leaf fusion — Placeholder/Parameter/Ones loaders are emitted together
+//     with their first consumer, never enumerated standalone;
+//  2. one communication per reference tensor, and none for leaves, enforced
+//     with a communicated bitset;
+//  3. liveness pruning — a tensor's properties are dropped once every
+//     consumer is computed (required outputs are exempt).
+//
+// Two engineering additions keep large training graphs tractable and are
+// documented in DESIGN.md: computation instructions within a stage are
+// emitted in canonical (ascending node id) order, which collapses
+// cost-equivalent permutations without losing any stage partition; and an
+// optional beam bound caps expansions per search depth for model-scale
+// graphs (exact search remains the default for small graphs).
+package synth
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"hap/internal/cluster"
+	"hap/internal/collective"
+	"hap/internal/cost"
+	"hap/internal/dist"
+	"hap/internal/graph"
+	"hap/internal/theory"
+)
+
+// Options tunes the search.
+type Options struct {
+	// BeamWidth caps expansions per depth (0 = exact A*; negative = choose
+	// automatically: exact for small graphs, beam for model-scale ones).
+	BeamWidth int
+	// MaxExpansions aborts runaway searches (0 = 4,000,000).
+	MaxExpansions int
+	// DisableGroupedBroadcast removes the grouped-Broadcast All-Gather
+	// implementation (ablation "C", Sec. 7.4).
+	DisableGroupedBroadcast bool
+	// DisableSFB removes replicated-MatMul triples on non-leaf operands,
+	// which is what sufficient factor broadcasting synthesizes through.
+	DisableSFB bool
+}
+
+// Auto returns BeamWidth -1 options (automatic mode selection).
+func Auto() Options { return Options{BeamWidth: -1} }
+
+// Stats reports search effort.
+type Stats struct {
+	Expansions int
+	Pushed     int
+	Elapsed    time.Duration
+	Cost       float64 // estimated t(Q,B) of the returned program
+}
+
+const (
+	unplaced   = int8(-2)
+	replicated = int8(-1)
+)
+
+// state is a partial program: the property set plus progress bookkeeping.
+type state struct {
+	parent *state
+	instrs []dist.Instruction // appended by this step (leaf loaders + op, or one comm)
+
+	props        []theory.Property // sorted canonical property set (live, non-leaf)
+	computed     []uint64          // nodes computed
+	communicated []uint64          // tensors already communicated (opt 2)
+	placed       []int8            // leaf placement: unplaced/replicated/dim
+
+	closedCost float64   // cost of all closed stages
+	openComm   float64   // comm cost of the open stage
+	openComp   []float64 // per-device comp time of the open stage
+	lastComp   graph.NodeID
+	remFlops   float64
+	depth      int32 // instructions so far (for beam leveling)
+	complete   bool
+}
+
+func (s *state) effCost() float64 {
+	worst := 0.0
+	for _, v := range s.openComp {
+		if v > worst {
+			worst = v
+		}
+	}
+	return s.closedCost + s.openComm + worst
+}
+
+func bitGet(b []uint64, i graph.NodeID) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func bitSet(b []uint64, i graph.NodeID)      { b[i/64] |= 1 << (uint(i) % 64) }
+
+func (s *state) clone() *state {
+	c := &state{
+		parent:       s,
+		props:        append([]theory.Property(nil), s.props...),
+		computed:     append([]uint64(nil), s.computed...),
+		communicated: append([]uint64(nil), s.communicated...),
+		placed:       append([]int8(nil), s.placed...),
+		closedCost:   s.closedCost,
+		openComm:     s.openComm,
+		openComp:     append([]float64(nil), s.openComp...),
+		lastComp:     s.lastComp,
+		remFlops:     s.remFlops,
+		depth:        s.depth + 1,
+	}
+	return c
+}
+
+func (s *state) hasProp(p theory.Property) bool {
+	for _, q := range s.props {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *state) addProp(p theory.Property) {
+	i := sort.Search(len(s.props), func(i int) bool { return propLess(p, s.props[i]) })
+	s.props = append(s.props, theory.Property{})
+	copy(s.props[i+1:], s.props[i:])
+	s.props[i] = p
+}
+
+func propLess(a, b theory.Property) bool {
+	if a.Ref != b.Ref {
+		return a.Ref < b.Ref
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Dim < b.Dim
+}
+
+// key returns a 64-bit FNV-1a dedup key over the canonical state contents
+// (sorted props, bitsets, placements, open-stage position). A hash key
+// trades a vanishing collision probability for an order of magnitude less
+// allocation in the search's hottest path.
+func (s *state) key() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, p := range s.props {
+		mix(uint64(uint32(p.Ref)) | uint64(p.Kind)<<32 | uint64(uint8(p.Dim))<<40)
+	}
+	mix(0xabcdef)
+	for _, w := range s.computed {
+		mix(w)
+	}
+	for _, w := range s.communicated {
+		mix(w)
+	}
+	for i := 0; i < len(s.placed); i += 8 {
+		var v uint64
+		for j := 0; j < 8 && i+j < len(s.placed); j++ {
+			v |= uint64(uint8(s.placed[i+j])) << (8 * j)
+		}
+		mix(v)
+	}
+	mix(uint64(uint32(s.lastComp)))
+	return h
+}
+
+// program reconstructs the instruction sequence along the parent chain.
+func (s *state) program(g *graph.Graph) *dist.Program {
+	var chain []*state
+	for cur := s; cur != nil; cur = cur.parent {
+		chain = append(chain, cur)
+	}
+	p := &dist.Program{Graph: g}
+	for i := len(chain) - 1; i >= 0; i-- {
+		p.Instrs = append(p.Instrs, chain[i].instrs...)
+	}
+	return p
+}
+
+type entry struct {
+	st    *state
+	score float64
+	index int
+}
+
+type pq []*entry
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].score < q[j].score }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *pq) Push(x interface{}) { e := x.(*entry); e.index = len(*q); *q = append(*q, e) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Synthesizer holds the immutable search context.
+type Synthesizer struct {
+	g     *graph.Graph
+	th    *theory.Theory
+	c     *cluster.Cluster
+	b     [][]float64
+	opt   Options
+	words int
+	// totalFlopsPerSec is the admissible-heuristic denominator.
+	totalFlopsPerSec float64
+	outputs          []theory.Output
+	outputByRef      map[graph.NodeID]theory.Output
+}
+
+// New prepares a synthesizer for one (graph, theory, cluster, ratios) tuple.
+func New(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]float64, opt Options) *Synthesizer {
+	if opt.MaxExpansions == 0 {
+		opt.MaxExpansions = 4_000_000
+	}
+	if opt.BeamWidth < 0 {
+		// Exact A* is exponential in both graph size and the communication
+		// branching (which grows with the device count); keep it for the
+		// regimes where it finishes in milliseconds.
+		if g.NumNodes() <= 60 && c.M() <= 2 {
+			opt.BeamWidth = 0 // exact
+		} else {
+			opt.BeamWidth = 48
+		}
+	}
+	s := &Synthesizer{
+		g: g, th: th, c: c, b: b, opt: opt,
+		words:            (g.NumNodes() + 63) / 64,
+		totalFlopsPerSec: c.TotalFlops(),
+		outputs:          th.Outputs,
+		outputByRef:      map[graph.NodeID]theory.Output{},
+	}
+	for _, o := range th.Outputs {
+		s.outputByRef[o.Ref] = o
+	}
+	return s
+}
+
+// Synthesize runs the search and returns the best program found.
+func Synthesize(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]float64, opt Options) (*dist.Program, Stats, error) {
+	return New(g, th, c, b, opt).Run()
+}
+
+// Run executes the search: exact A* (Fig. 10) when BeamWidth is zero, a
+// level-synchronized beam search otherwise.
+func (sy *Synthesizer) Run() (*dist.Program, Stats, error) {
+	start := time.Now()
+	g := sy.g
+	root := &state{
+		computed:     make([]uint64, sy.words),
+		communicated: make([]uint64, sy.words),
+		placed:       make([]int8, g.NumNodes()),
+		openComp:     make([]float64, sy.c.M()),
+		lastComp:     -1,
+	}
+	for i := range root.placed {
+		root.placed[i] = unplaced
+	}
+	for i := range g.Nodes {
+		id := graph.NodeID(i)
+		if sy.th.Required[id] && !theory.IsLeaf(g.Node(id).Kind) {
+			root.remFlops += g.Flops(id)
+		}
+	}
+
+	var best *state
+	var stats Stats
+	var err error
+	if sy.opt.BeamWidth > 0 {
+		best, stats, err = sy.runBeam(root)
+	} else {
+		best, stats, err = sy.runAStar(root)
+	}
+	stats.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Cost = best.effCost()
+	return best.program(g), stats, nil
+}
+
+// runAStar is the exact search of Fig. 10.
+func (sy *Synthesizer) runAStar(root *state) (*state, Stats, error) {
+	var queue pq
+	heap.Push(&queue, &entry{st: root, score: sy.score(root)})
+	visited := map[uint64]float64{root.key(): root.effCost()}
+
+	var best *state
+	bestCost := 0.0
+	stats := Stats{Pushed: 1}
+
+	for queue.Len() > 0 {
+		e := heap.Pop(&queue).(*entry)
+		s := e.st
+		if best != nil && e.score >= bestCost {
+			break // nothing cheaper remains (Fig. 10 termination)
+		}
+		if s.complete {
+			best, bestCost = s, s.effCost()
+			break
+		}
+		stats.Expansions++
+		if stats.Expansions > sy.opt.MaxExpansions {
+			return nil, stats, fmt.Errorf("synth: exceeded %d expansions", sy.opt.MaxExpansions)
+		}
+		for _, next := range sy.expand(s) {
+			k := next.key()
+			ec := next.effCost()
+			if prev, ok := visited[k]; ok && prev <= ec+1e-15 {
+				continue
+			}
+			visited[k] = ec
+			if next.complete && (best == nil || ec < bestCost) {
+				best, bestCost = next, ec
+			}
+			heap.Push(&queue, &entry{st: next, score: sy.score(next)})
+			stats.Pushed++
+		}
+	}
+	if best == nil {
+		return nil, stats, fmt.Errorf("synth: no complete program found")
+	}
+	return best, stats, nil
+}
+
+// beamCand is a scored, not-yet-materialized successor for the beam.
+type beamCand struct {
+	parent *state
+	tr     *theory.Triple // nil for communication candidates
+	cc     commCand
+	score  float64
+}
+
+// runBeam is the level-synchronized beam search used for model-scale graphs:
+// level k holds partial programs with k instructions; the best BeamWidth
+// states per level (by A* score) advance. Candidates are scored without
+// materialization and only the survivors are cloned, which keeps the search
+// allocation-light. Bounded suboptimality traded for a hard bound on search
+// effort; see DESIGN.md.
+func (sy *Synthesizer) runBeam(root *state) (*state, Stats, error) {
+	var stats Stats
+	var best *state
+	bestCost := 0.0
+	level := []*state{root}
+	maxLevels := 3*sy.g.NumNodes() + 100
+	var cands []beamCand
+	var ccBuf []commCand
+	for depth := 0; depth < maxLevels && len(level) > 0; depth++ {
+		cands = cands[:0]
+		for _, s := range level {
+			stats.Expansions++
+			// Computation: strict global topological order — only the lowest
+			// uncomputed required node (see expandFrom).
+			for i := 0; i < sy.g.NumNodes(); i++ {
+				id := graph.NodeID(i)
+				if !sy.th.Required[id] || bitGet(s.computed, id) || theory.IsLeaf(sy.g.Node(id).Kind) {
+					continue
+				}
+				for _, tr := range sy.th.ByNode[id] {
+					if sy.opt.DisableSFB && sy.isSFBTriple(tr) {
+						continue
+					}
+					if sy.compApplicable(s, tr) {
+						score := sy.compDelta(s, tr) + (s.remFlops-sy.g.Flops(id))/sy.totalFlopsPerSec
+						cands = append(cands, beamCand{parent: s, tr: tr, score: score})
+					}
+				}
+				break
+			}
+			// Communication candidates for live, uncommunicated tensors.
+			for _, p := range s.props {
+				if bitGet(s.communicated, p.Ref) {
+					continue
+				}
+				if o, isOut := sy.outputByRef[p.Ref]; isOut && sy.outputAcceptable(s, o) {
+					continue
+				}
+				ccBuf = sy.commCandidates(s, p, ccBuf[:0])
+				for _, cc := range ccBuf {
+					score := sy.commDelta(s, cc) + s.remFlops/sy.totalFlopsPerSec
+					cands = append(cands, beamCand{parent: s, cc: cc, score: score})
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+		visited := map[uint64]struct{}{}
+		var next []*state
+		for _, c := range cands {
+			if best != nil && c.score >= bestCost {
+				break // sorted: nothing further can improve
+			}
+			var ns *state
+			if c.tr != nil {
+				ns = sy.applyComp(c.parent, c.tr)
+			} else {
+				ns = sy.applyComm(c.parent, c.cc)
+			}
+			if ns == nil {
+				continue
+			}
+			stats.Pushed++
+			if ns.complete {
+				if ec := ns.effCost(); best == nil || ec < bestCost {
+					best, bestCost = ns, ec
+				}
+				continue
+			}
+			k := ns.key()
+			if _, ok := visited[k]; ok {
+				continue
+			}
+			visited[k] = struct{}{}
+			next = append(next, ns)
+			if len(next) >= sy.opt.BeamWidth {
+				break
+			}
+		}
+		level = next
+	}
+	if best == nil {
+		return nil, stats, fmt.Errorf("synth: beam search found no complete program")
+	}
+	return best, stats, nil
+}
+
+// score is cost(Q) + ecost(Q): the A* priority. ecost is the remaining flops
+// at full-cluster speed (infinite bandwidth), an admissible lower bound.
+func (sy *Synthesizer) score(s *state) float64 {
+	return s.effCost() + s.remFlops/sy.totalFlopsPerSec
+}
+
+// expand enumerates the successor states (Fig. 10 lines 7–19).
+func (sy *Synthesizer) expand(s *state) []*state { return sy.expandFrom(s, true) }
+
+// expandFrom enumerates successors. In canonical mode (exact A*) the next
+// computation must have a node id above the last one in the open stage,
+// collapsing cost-equivalent permutations: any program can be reordered so
+// comps within a stage ascend. Beam mode instead forces strict global
+// topological order — the natural forward-then-backward training schedule —
+// so that leaf placements are decided by forward consumers; without this, a
+// beam thread can place a parameter from its backward transpose first and
+// corner itself (the exact queue recovers through alternative orderings, a
+// beam cannot).
+func (sy *Synthesizer) expandFrom(s *state, canonical bool) []*state {
+	var out []*state
+	g := sy.g
+	first := 0
+	if canonical {
+		first = int(s.lastComp) + 1
+	}
+	for i := first; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		if !sy.th.Required[id] || bitGet(s.computed, id) || theory.IsLeaf(g.Node(id).Kind) {
+			continue
+		}
+		if !sy.ready(s, id) {
+			if canonical {
+				continue
+			}
+			break // global order: cannot happen, but stay safe
+		}
+		for _, tr := range sy.th.ByNode[id] {
+			if sy.opt.DisableSFB && sy.isSFBTriple(tr) {
+				continue
+			}
+			if ns := sy.applyComp(s, tr); ns != nil {
+				out = append(out, ns)
+			}
+		}
+		if !canonical {
+			break // beam: only the lowest uncomputed node is a candidate
+		}
+	}
+	// Communication candidates for live, uncommunicated, non-leaf tensors.
+	for _, p := range s.props {
+		if bitGet(s.communicated, p.Ref) {
+			continue
+		}
+		if o, isOut := sy.outputByRef[p.Ref]; isOut && sy.outputAcceptable(s, o) {
+			continue // already in final form; more communication is waste
+		}
+		out = append(out, sy.commSuccessors(s, p)...)
+	}
+	return out
+}
+
+// ready reports whether every non-leaf input of id is computed.
+func (sy *Synthesizer) ready(s *state, id graph.NodeID) bool {
+	for _, in := range sy.g.Node(id).Inputs {
+		if theory.IsLeaf(sy.g.Node(in).Kind) {
+			continue
+		}
+		if !bitGet(s.computed, in) {
+			return false
+		}
+	}
+	return true
+}
+
+func (sy *Synthesizer) isSFBTriple(tr *theory.Triple) bool {
+	return !tr.FlopsScaled && sy.g.Node(tr.Node).Kind == graph.MatMul && len(tr.Pre) == 2
+}
+
+// compApplicable checks a computation triple's preconditions without
+// materializing the successor state.
+func (sy *Synthesizer) compApplicable(s *state, tr *theory.Triple) bool {
+	for _, p := range tr.Pre {
+		if !s.hasProp(p) {
+			return false
+		}
+	}
+	for _, p := range tr.LeafPre {
+		want := replicated
+		if p.Kind == theory.Gather {
+			want = int8(p.Dim)
+		}
+		if got := s.placed[p.Ref]; got != want && got != unplaced {
+			return false
+		}
+	}
+	return true
+}
+
+// compDelta returns the per-device open-stage time increase of applying tr,
+// without allocation (the beam's candidate-scoring fast path).
+func (sy *Synthesizer) compDelta(s *state, tr *theory.Triple) float64 {
+	flops := sy.g.Flops(tr.Node)
+	seg := sy.g.Segment(tr.Node)
+	worst := 0.0
+	for j, d := range sy.c.Devices {
+		f := flops
+		if tr.FlopsScaled {
+			f *= sy.b[seg][j]
+		}
+		if t := s.openComp[j] + f/d.Flops(); t > worst {
+			worst = t
+		}
+	}
+	return s.closedCost + s.openComm + worst
+}
+
+// applyComp attempts to append tr (with fused leaf loaders); nil if the
+// preconditions do not hold.
+func (sy *Synthesizer) applyComp(s *state, tr *theory.Triple) *state {
+	if !sy.compApplicable(s, tr) {
+		return nil
+	}
+	var place []theory.Property
+	for _, p := range tr.LeafPre {
+		if s.placed[p.Ref] == unplaced {
+			place = append(place, p)
+		}
+	}
+	ns := s.clone()
+	for _, p := range place {
+		if p.Kind == theory.Gather {
+			ns.placed[p.Ref] = int8(p.Dim)
+		} else {
+			ns.placed[p.Ref] = replicated
+		}
+		ns.instrs = append(ns.instrs, theory.LeafInstr(sy.g, p))
+	}
+	in := tr.Instr(sy.g)
+	ns.instrs = append(ns.instrs, in)
+	bitSet(ns.computed, tr.Node)
+	if !ns.hasProp(tr.Out) {
+		ns.addProp(tr.Out)
+	}
+	ns.lastComp = tr.Node
+	ns.remFlops -= sy.g.Flops(tr.Node)
+	cost.AddCompTimes(sy.c, sy.g, in, sy.b, ns.openComp)
+	sy.pruneDead(ns, tr.Node)
+	ns.complete = sy.isComplete(ns)
+	return ns
+}
+
+// commCand is a not-yet-materialized communication successor.
+type commCand struct {
+	in  dist.Instruction
+	res theory.Property
+}
+
+// commCandidates yields the communication instructions applicable to p,
+// without materializing states.
+func (sy *Synthesizer) commCandidates(s *state, p theory.Property, out []commCand) []commCand {
+	g := sy.g
+	rank := len(g.Node(p.Ref).Shape)
+	// An output tensor is communicated at most once (opt 2), so that one
+	// communication must land directly on an acceptable final form; anything
+	// else makes the output permanently unacceptable.
+	output, isOutput := sy.outputByRef[p.Ref]
+	outDim := -1
+	if isOutput && output.Param >= 0 {
+		switch pd := s.placed[output.Param]; pd {
+		case unplaced:
+			return out // placement unknown: communicating now could corner us
+		case replicated:
+			outDim = -1
+		default:
+			outDim = int(pd)
+		}
+	}
+	try := func(in dist.Instruction, res theory.Property) {
+		if s.hasProp(res) {
+			return // postcondition subsumed: strictly worse (line 7)
+		}
+		if isOutput {
+			if !output.Acceptable(res, outDim) {
+				return
+			}
+		} else if !sy.th.Wanted[res] {
+			return // no triple's precondition can use the result
+		}
+		out = append(out, commCand{in: in, res: res})
+	}
+
+	switch p.Kind {
+	case theory.Reduce:
+		try(dist.Comm(p.Ref, collective.AllReduce, 0, 0), theory.Id(p.Ref))
+		for d := 0; d < rank; d++ {
+			try(dist.Comm(p.Ref, collective.ReduceScatter, d, 0), theory.Shard(p.Ref, d))
+		}
+	case theory.Gather:
+		d := int(p.Dim)
+		try(dist.Comm(p.Ref, collective.PaddedAllGather, d, 0), theory.Id(p.Ref))
+		if !sy.opt.DisableGroupedBroadcast {
+			try(dist.Comm(p.Ref, collective.GroupedBroadcast, d, 0), theory.Id(p.Ref))
+		}
+		for d2 := 0; d2 < rank; d2++ {
+			if d2 != d {
+				try(dist.Comm(p.Ref, collective.AllToAll, d, d2), theory.Shard(p.Ref, d2))
+			}
+		}
+	}
+	return out
+}
+
+// applyComm materializes a communication successor.
+func (sy *Synthesizer) applyComm(s *state, cc commCand) *state {
+	ns := s.clone()
+	ns.instrs = append(ns.instrs, cc.in)
+	bitSet(ns.communicated, cc.in.Ref)
+	ns.addProp(cc.res)
+	// Close the open stage (Sec. 3.2): its comm + worst comp are paid.
+	worst := 0.0
+	for _, v := range ns.openComp {
+		if v > worst {
+			worst = v
+		}
+	}
+	ns.closedCost += ns.openComm + worst
+	for j := range ns.openComp {
+		ns.openComp[j] = 0
+	}
+	ns.openComm = cost.CommTime(sy.c, sy.g, cc.in, sy.b)
+	cost.AddIntraPenalty(sy.c, sy.g, cc.in, sy.b, ns.openComp)
+	ns.lastComp = -1
+	ns.complete = sy.isComplete(ns)
+	return ns
+}
+
+// commDelta estimates the materialized effCost of a comm successor.
+func (sy *Synthesizer) commDelta(s *state, cc commCand) float64 {
+	worst := 0.0
+	for _, v := range s.openComp {
+		if v > worst {
+			worst = v
+		}
+	}
+	return s.closedCost + s.openComm + worst + cost.CommTime(sy.c, sy.g, cc.in, sy.b)
+}
+
+// commSuccessors materializes all communication successors of p.
+func (sy *Synthesizer) commSuccessors(s *state, p theory.Property) []*state {
+	var out []*state
+	for _, cc := range sy.commCandidates(s, p, nil) {
+		out = append(out, sy.applyComm(s, cc))
+	}
+	return out
+}
+
+// pruneDead drops properties of tensors whose consumers are all computed
+// (optimization 3), keeping required outputs.
+func (sy *Synthesizer) pruneDead(s *state, justComputed graph.NodeID) {
+	check := func(u graph.NodeID) {
+		if _, isOut := sy.outputByRef[u]; isOut {
+			return
+		}
+		for _, c := range sy.th.Consumers[u] {
+			if sy.th.Required[c] && !bitGet(s.computed, c) {
+				return
+			}
+		}
+		// Dead: remove all props of u.
+		w := s.props[:0]
+		for _, p := range s.props {
+			if p.Ref != u {
+				w = append(w, p)
+			}
+		}
+		s.props = w
+	}
+	for _, u := range sy.g.Node(justComputed).Inputs {
+		if !theory.IsLeaf(sy.g.Node(u).Kind) {
+			check(u)
+		}
+	}
+	// The freshly computed node may itself have no pending consumers left
+	// only in degenerate graphs; checking costs little.
+	check(justComputed)
+}
+
+func (sy *Synthesizer) outputAcceptable(s *state, o theory.Output) bool {
+	dim := -1
+	if o.Param >= 0 {
+		switch pd := s.placed[o.Param]; pd {
+		case unplaced:
+			return false
+		case replicated:
+			dim = -1
+		default:
+			dim = int(pd)
+		}
+	}
+	for _, p := range s.props {
+		if p.Ref == o.Ref && o.Acceptable(p, dim) {
+			return true
+		}
+	}
+	return false
+}
+
+func (sy *Synthesizer) isComplete(s *state) bool {
+	for _, o := range sy.outputs {
+		if !sy.outputAcceptable(s, o) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,312 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumElements(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		want  int
+	}{
+		{Shape{}, 1},
+		{Shape{5}, 5},
+		{Shape{2, 3}, 6},
+		{Shape{2, 3, 4}, 24},
+		{Shape{1, 0, 7}, 0},
+	}
+	for _, c := range cases {
+		if got := c.shape.NumElements(); got != c.want {
+			t.Errorf("NumElements(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestShapeEqual(t *testing.T) {
+	if !(Shape{2, 3}).Equal(Shape{2, 3}) {
+		t.Error("equal shapes reported unequal")
+	}
+	if (Shape{2, 3}).Equal(Shape{3, 2}) {
+		t.Error("unequal shapes reported equal")
+	}
+	if (Shape{2, 3}).Equal(Shape{2, 3, 1}) {
+		t.Error("different-rank shapes reported equal")
+	}
+}
+
+func TestAtSetOffset(t *testing.T) {
+	a := New(2, 3, 4)
+	a.Set(7.5, 1, 2, 3)
+	if got := a.At(1, 2, 3); got != 7.5 {
+		t.Errorf("At(1,2,3) = %v, want 7.5", got)
+	}
+	if got := a.Data()[1*12+2*4+3]; got != 7.5 {
+		t.Errorf("row-major offset wrong: got %v", got)
+	}
+}
+
+func TestFromDataPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromData with wrong length did not panic")
+		}
+	}()
+	FromData([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromData([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := FromData([]float64{58, 64, 139, 154}, 2, 2)
+	if !AllClose(got, want, 0, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatMul with mismatched inner dims did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Rand(rng, 3, 5)
+	if !AllClose(Transpose(Transpose(a)), a, 0, 0) {
+		t.Error("Transpose(Transpose(a)) != a")
+	}
+}
+
+func TestTransposeMatMulIdentity(t *testing.T) {
+	// (A·B)^T == B^T · A^T
+	rng := rand.New(rand.NewSource(2))
+	a := Rand(rng, 4, 3)
+	b := Rand(rng, 3, 5)
+	lhs := Transpose(MatMul(a, b))
+	rhs := MatMul(Transpose(b), Transpose(a))
+	if !AllClose(lhs, rhs, 1e-12, 1e-12) {
+		t.Error("(AB)^T != B^T A^T")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromData([]float64{1, -2, 3}, 3)
+	b := FromData([]float64{4, 5, -6}, 3)
+	if got := Add(a, b); !AllClose(got, FromData([]float64{5, 3, -3}, 3), 0, 0) {
+		t.Errorf("Add = %v", got.Data())
+	}
+	if got := Sub(a, b); !AllClose(got, FromData([]float64{-3, -7, 9}, 3), 0, 0) {
+		t.Errorf("Sub = %v", got.Data())
+	}
+	if got := Mul(a, b); !AllClose(got, FromData([]float64{4, -10, -18}, 3), 0, 0) {
+		t.Errorf("Mul = %v", got.Data())
+	}
+	if got := Scale(a, 2); !AllClose(got, FromData([]float64{2, -4, 6}, 3), 0, 0) {
+		t.Errorf("Scale = %v", got.Data())
+	}
+	if got := ReLU(a); !AllClose(got, FromData([]float64{1, 0, 3}, 3), 0, 0) {
+		t.Errorf("ReLU = %v", got.Data())
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Rand(rng, 10, 10)
+	s := Sigmoid(a)
+	for _, v := range s.Data() {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sigmoid output %v outside (0,1)", v)
+		}
+	}
+	if got := Sigmoid(New(1)).At(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Sigmoid(0) = %v, want 0.5", got)
+	}
+}
+
+func TestGeLUKnownValues(t *testing.T) {
+	// GeLU(0)=0 and GeLU is approximately x for large positive x.
+	if got := GeLU(New(1)).At(0); got != 0 {
+		t.Errorf("GeLU(0) = %v, want 0", got)
+	}
+	x := FromData([]float64{10}, 1)
+	if got := GeLU(x).At(0); math.Abs(got-10) > 1e-6 {
+		t.Errorf("GeLU(10) = %v, want ~10", got)
+	}
+}
+
+func TestActivationGradsMatchFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := Rand(rng, 8)
+	g := Ones(8)
+	const h = 1e-6
+	check := func(name string, f func(*Tensor) *Tensor, grad func(x, g *Tensor) *Tensor) {
+		got := grad(x, g)
+		for i := 0; i < 8; i++ {
+			xp := x.Clone()
+			xm := x.Clone()
+			xp.Data()[i] += h
+			xm.Data()[i] -= h
+			want := (f(xp).Data()[i] - f(xm).Data()[i]) / (2 * h)
+			if math.Abs(got.Data()[i]-want) > 1e-4 {
+				t.Errorf("%s grad[%d] = %v, want %v", name, i, got.Data()[i], want)
+			}
+		}
+	}
+	check("sigmoid", Sigmoid, SigmoidGrad)
+	check("gelu", GeLU, GeLUGrad)
+}
+
+func TestSumAndSumDim(t *testing.T) {
+	a := FromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := Sum(a).At(); got != 21 {
+		t.Errorf("Sum = %v, want 21", got)
+	}
+	s0 := SumDim(a, 0)
+	if !AllClose(s0, FromData([]float64{5, 7, 9}, 3), 0, 0) {
+		t.Errorf("SumDim(0) = %v", s0.Data())
+	}
+	s1 := SumDim(a, 1)
+	if !AllClose(s1, FromData([]float64{6, 15}, 2), 0, 0) {
+		t.Errorf("SumDim(1) = %v", s1.Data())
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Rand(rng, 4, 7)
+	s := Softmax(a)
+	for r := 0; r < 4; r++ {
+		sum := 0.0
+		for c := 0; c < 7; c++ {
+			sum += s.At(r, c)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("softmax row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	a := FromData([]float64{1000, 1000, 1000}, 1, 3)
+	s := Softmax(a)
+	for _, v := range s.Data() {
+		if math.IsNaN(v) || math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("softmax of large equal logits = %v, want 1/3", v)
+		}
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, dim := range []int{0, 1, 2} {
+		a := Rand(rng, 4, 6, 5)
+		sizes := map[int][]int{0: {1, 3}, 1: {2, 1, 3}, 2: {4, 1}}[dim]
+		parts := SplitSizes(a, dim, sizes)
+		back := Concat(dim, parts...)
+		if !AllClose(back, a, 0, 0) {
+			t.Errorf("Concat(Split(a, dim=%d)) != a", dim)
+		}
+	}
+}
+
+func TestSplitSizesValues(t *testing.T) {
+	a := FromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	parts := SplitSizes(a, 1, []int{1, 2})
+	if !AllClose(parts[0], FromData([]float64{1, 4}, 2, 1), 0, 0) {
+		t.Errorf("part 0 = %v", parts[0].Data())
+	}
+	if !AllClose(parts[1], FromData([]float64{2, 3, 5, 6}, 2, 2), 0, 0) {
+		t.Errorf("part 1 = %v", parts[1].Data())
+	}
+}
+
+func TestSplitBadSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SplitSizes with bad sizes did not panic")
+		}
+	}()
+	SplitSizes(New(2, 3), 1, []int{1, 1})
+}
+
+func TestAllCloseAndMaxAbsDiff(t *testing.T) {
+	a := FromData([]float64{1, 2}, 2)
+	b := FromData([]float64{1, 2.001}, 2)
+	if AllClose(a, b, 0, 1e-6) {
+		t.Error("AllClose too lenient")
+	}
+	if !AllClose(a, b, 0, 1e-2) {
+		t.Error("AllClose too strict")
+	}
+	if got := MaxAbsDiff(a, b); math.Abs(got-0.001) > 1e-12 {
+		t.Errorf("MaxAbsDiff = %v", got)
+	}
+	if !math.IsInf(MaxAbsDiff(a, New(3)), 1) {
+		t.Error("MaxAbsDiff of mismatched shapes should be +Inf")
+	}
+}
+
+// Property: matmul distributes over row-wise concatenation — the algebraic
+// fact underlying data parallelism: concat_0(A1·B, A2·B) == concat_0(A1,A2)·B.
+func TestQuickMatMulRowConcat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1, n2 := 1+rng.Intn(4), 1+rng.Intn(4)
+		k, m := 1+rng.Intn(5), 1+rng.Intn(5)
+		a1 := Rand(rng, n1, k)
+		a2 := Rand(rng, n2, k)
+		b := Rand(rng, k, m)
+		lhs := Concat(0, MatMul(a1, b), MatMul(a2, b))
+		rhs := MatMul(Concat(0, a1, a2), b)
+		return AllClose(lhs, rhs, 1e-9, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matmul on column-sharded A and row-sharded B sums to the full
+// product — the algebraic fact underlying reduction parallelism:
+// A1·B1 + A2·B2 == concat_1(A1,A2) · concat_0(B1,B2).
+func TestQuickMatMulReductionSharding(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(4), 1+rng.Intn(4)
+		k1, k2 := 1+rng.Intn(5), 1+rng.Intn(5)
+		a1 := Rand(rng, n, k1)
+		a2 := Rand(rng, n, k2)
+		b1 := Rand(rng, k1, m)
+		b2 := Rand(rng, k2, m)
+		lhs := Add(MatMul(a1, b1), MatMul(a2, b2))
+		rhs := MatMul(Concat(1, a1, a2), Concat(0, b1, b2))
+		return AllClose(lhs, rhs, 1e-9, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sum distributes over splits on any dimension — the fact
+// underlying loss|All-Reduce completeness.
+func TestQuickSumSplit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Rand(rng, 2+rng.Intn(3), 2+rng.Intn(3))
+		d := rng.Intn(2)
+		n := a.Dim(d)
+		cut := 1 + rng.Intn(n-1)
+		parts := SplitSizes(a, d, []int{cut, n - cut})
+		total := Sum(parts[0]).At() + Sum(parts[1]).At()
+		return math.Abs(total-Sum(a).At()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

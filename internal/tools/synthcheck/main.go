@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/models"
+	"hap/internal/synth"
+	"hap/internal/theory"
+)
+
+func main() {
+	for _, m := range []models.PaperModel{models.ModelViT, models.ModelBERTBase, models.ModelVGG19, models.ModelBERTMoE} {
+		g := models.Build(m, 8)
+		c := cluster.PaperHeterogeneous(1)
+		b := cost.UniformRatios(1, c.ProportionalRatios())
+		start := time.Now()
+		p, stats, err := synth.Synthesize(g, theory.New(g), c, b, synth.Auto())
+		if err != nil {
+			fmt.Printf("%-10s nodes=%4d ERR after %v: %v\n", m, g.NumNodes(), time.Since(start), err)
+			continue
+		}
+		fmt.Printf("%-10s nodes=%4d instrs=%4d comms=%3d exp=%7d cost=%.4fs elapsed=%v\n",
+			m, g.NumNodes(), len(p.Instrs), p.NumComms(), stats.Expansions, stats.Cost, stats.Elapsed)
+	}
+}
