@@ -6,9 +6,11 @@
 //
 //	hap-synth [-model VGG19|ViT|BERT-Base|BERT-MoE] [-k gpusPerMachine]
 //	          [-cluster hetero|homo|a100p100] [-segments n] [-trace file]
+//	          [-out plan.json]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +28,7 @@ func main() {
 	clusterName := flag.String("cluster", "hetero", "cluster: hetero (2×V100+6×P100 machines), homo (4×P100), a100p100")
 	segments := flag.Int("segments", 1, "model segments for per-segment sharding ratios")
 	trace := flag.String("trace", "", "write a Chrome trace of one simulated iteration to this file")
+	out := flag.String("out", "", "export the plan (program + ratios) as JSON to this file and verify the round-trip")
 	flag.Parse()
 
 	var c *cluster.Cluster
@@ -53,6 +56,27 @@ func main() {
 		plan.SynthesisTime, plan.Cost*1e3, sim.IterationTime(c, plan.Program, plan.Ratios, 1)*1e3)
 	fmt.Printf("sharding ratios: %.3f\n\n", plan.Ratios)
 	fmt.Print(plan.Program)
+	st := plan.Program.Stats()
+	fmt.Printf("\nprogram: %d instructions, %d collectives (%d ratio-scaled comps); histogram %v\n",
+		st.Instrs, st.Comms, st.FlopsScaled, st.PerCollective)
+
+	if *out != "" {
+		var buf bytes.Buffer
+		if err := plan.WriteProgram(&buf); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		back, err := hap.ReadProgram(bytes.NewReader(buf.Bytes()), g)
+		if err != nil {
+			log.Fatalf("re-loading %s: %v", *out, err)
+		}
+		if back.Program.String() != plan.Program.String() {
+			log.Fatalf("round-trip through %s changed the program", *out)
+		}
+		fmt.Printf("wrote %s (round-trip ok)\n", *out)
+	}
 
 	if *trace != "" {
 		f, err := os.Create(*trace)

@@ -1,0 +1,3 @@
+module hap
+
+go 1.21

@@ -27,7 +27,11 @@
 package hap
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 
 	"hap/internal/autodiff"
 	"hap/internal/cluster"
@@ -130,12 +134,107 @@ func Parallelize(g *Graph, c *Cluster, opt Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := res.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("hap: synthesized program is ill-formed: %w", err)
+	}
 	return &Plan{
 		Program:       res.Program,
 		Ratios:        res.Ratios,
 		Cost:          res.Cost,
 		SynthesisTime: res.Elapsed.Seconds(),
 	}, nil
+}
+
+// planJSON is the serialized form of a Plan. The graph travels separately:
+// ReadProgram re-binds the program to a caller-provided graph. SegmentOf is
+// carried because Parallelize(Segments > 1) assigns it internally — a fresh
+// process rebuilding the model graph has no way to reproduce it.
+type planJSON struct {
+	Program       json.RawMessage `json:"program"`
+	Ratios        [][]float64     `json:"ratios"`
+	SegmentOf     []int           `json:"segment_of,omitempty"`
+	Cost          float64         `json:"cost"`
+	SynthesisTime float64         `json:"synthesis_time,omitempty"`
+}
+
+// WriteProgram serializes the plan — the SPMD program, the sharding ratios,
+// and the modeled cost — as JSON, so plans can be exported, diffed, and
+// re-loaded without re-running synthesis.
+func (p *Plan) WriteProgram(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := p.Program.Encode(&buf); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(planJSON{
+		Program:       buf.Bytes(),
+		Ratios:        p.Ratios,
+		SegmentOf:     p.Program.Graph.SegmentOf,
+		Cost:          p.Cost,
+		SynthesisTime: p.SynthesisTime,
+	})
+}
+
+// ReadProgram loads a plan written by Plan.WriteProgram, binding its program
+// to g (which must be the graph the plan was synthesized for) and validating
+// it structurally. The plan's segment assignment is adopted onto g, so plans
+// produced with Options.Segments > 1 re-load against a freshly built graph.
+func ReadProgram(r io.Reader, g *Graph) (*Plan, error) {
+	var pj planJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("hap: read plan: %w", err)
+	}
+	if len(pj.Program) == 0 {
+		return nil, fmt.Errorf("hap: read plan: input has no %q section (not written by Plan.WriteProgram?)", "program")
+	}
+	if len(pj.SegmentOf) != 0 && len(pj.SegmentOf) != g.NumNodes() {
+		return nil, fmt.Errorf("hap: read plan: segment assignment covers %d nodes, the graph has %d", len(pj.SegmentOf), g.NumNodes())
+	}
+	g.SegmentOf = pj.SegmentOf
+	prog, err := dist.Decode(bytes.NewReader(pj.Program), g)
+	if err != nil {
+		return nil, fmt.Errorf("hap: read plan: %w", err)
+	}
+	if err := validateRatios(pj.Ratios, g.NumSegments()); err != nil {
+		return nil, fmt.Errorf("hap: read plan: %w", err)
+	}
+	return &Plan{
+		Program:       prog,
+		Ratios:        pj.Ratios,
+		Cost:          pj.Cost,
+		SynthesisTime: pj.SynthesisTime,
+	}, nil
+}
+
+// validateRatios rejects sharding-ratio matrices that would crash or
+// silently corrupt Verify/Simulate: the plan must carry one row per model
+// segment, rectangular and non-empty, with non-negative finite entries
+// summing to 1 per row.
+func validateRatios(b [][]float64, segments int) error {
+	if len(b) != segments {
+		return fmt.Errorf("ratios have %d segments, the graph has %d", len(b), segments)
+	}
+	m := 0
+	for k, row := range b {
+		if k == 0 {
+			m = len(row)
+		}
+		if len(row) == 0 || len(row) != m {
+			return fmt.Errorf("ratios row %d has %d devices, want %d", k, len(row), m)
+		}
+		sum := 0.0
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ratios[%d][%d] = %v is not a valid ratio", k, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("ratios row %d sums to %v, want 1", k, sum)
+		}
+	}
+	return nil
 }
 
 // Verify numerically checks that the plan's program is semantically

@@ -45,6 +45,18 @@ func (k Kind) String() string {
 	return fmt.Sprintf("collective(%d)", int(k))
 }
 
+// ParseKind returns the collective kind with the given name (as produced by
+// Kind.String). Serialized programs store kinds by name so the format
+// survives enum renumbering.
+func ParseKind(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // MaxRatio returns the largest sharding ratio — the padded-collective
 // bottleneck (Sec. 2.4: communication time depends on the largest shard).
 func MaxRatio(ratios []float64) float64 {

@@ -1,0 +1,159 @@
+// Package dist defines HAP's distributed SPMD program IR (Sec. 4.1).
+//
+// A Program is the output of the synthesizer: a sequence of Instructions
+// every device executes identically. Each instruction either computes one
+// tensor of the single-device graph on local shards (a computation, possibly
+// fused with the leaf-loader placements of Sec. 4.5) or applies a collective
+// to redistribute an already-produced tensor (a communication). The graph is
+// carried alongside the instruction list — instructions reference graph
+// nodes by id and the graph remains the source of truth for shapes, flops
+// and dataflow.
+//
+// Beyond the core representation, the package provides the subsystem layers
+// every later pipeline stage builds on: a structural validator enforcing
+// SSA-style well-formedness (Validate), a disassembler mirroring the paper's
+// program listings (String, Format), stable JSON serialization for
+// exporting/diffing/re-loading plans (Encode, Decode), program statistics
+// (Stats), and a dead-code-elimination pass (Prune).
+package dist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hap/internal/collective"
+	"hap/internal/graph"
+)
+
+// Instruction is one SPMD instruction, executed identically on every device.
+type Instruction struct {
+	// Ref is the single-device tensor this instruction produces (computation)
+	// or redistributes in place (communication).
+	Ref graph.NodeID
+	// Op is the computation's op kind, mirroring the graph node. Unused for
+	// communication instructions.
+	Op graph.OpKind
+	// Inputs mirror the graph node's inputs (empty for leaf loaders, whose
+	// nodes have none).
+	Inputs []graph.NodeID
+	// ShardDim is the dimension a leaf loader (or a sharded Expand) splits
+	// locally, -1 for replicated. Unused (-1) for communication.
+	ShardDim int
+	// FlopsScaled reports whether per-device flops scale with the sharding
+	// ratio (false for replicated execution, the SFB-enabling rules).
+	FlopsScaled bool
+	// IsComm marks communication instructions.
+	IsComm bool
+	// Coll is the collective kind (communication only).
+	Coll collective.Kind
+	// Dim is the sharding dimension the collective operates on (the gathered
+	// or scattered dim); Dim2 is All-To-All's destination sharding dim.
+	Dim, Dim2 int
+}
+
+// Comm builds a communication instruction applying the collective kind to
+// tensor ref on dimension d (and resharding onto d2 for All-To-All).
+func Comm(ref graph.NodeID, kind collective.Kind, d, d2 int) Instruction {
+	return Instruction{Ref: ref, ShardDim: -1, IsComm: true, Coll: kind, Dim: d, Dim2: d2}
+}
+
+// isLeafKind mirrors theory.IsLeaf without importing it (theory imports dist).
+func isLeafKind(k graph.OpKind) bool {
+	return k == graph.Placeholder || k == graph.Parameter || k == graph.Ones
+}
+
+// String renders the instruction in the paper's listing notation:
+// "all-gather(e3, 1)" for collectives, "e5 = matmul(e1, e3)" for
+// computations, with sharded placements as "e0 = placeholder-shard(0)".
+func (in Instruction) String() string {
+	if in.IsComm {
+		switch in.Coll {
+		case collective.AllReduce:
+			return fmt.Sprintf("%v(e%d)", in.Coll, in.Ref)
+		case collective.AllToAll:
+			return fmt.Sprintf("%v(e%d, %d, %d)", in.Coll, in.Ref, in.Dim, in.Dim2)
+		default:
+			return fmt.Sprintf("%v(e%d, %d)", in.Coll, in.Ref, in.Dim)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d = %v", in.Ref, in.Op)
+	if in.ShardDim >= 0 {
+		b.WriteString("-shard")
+	}
+	b.WriteByte('(')
+	for i, u := range in.Inputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "e%d", u)
+	}
+	if in.ShardDim >= 0 {
+		if len(in.Inputs) > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", in.ShardDim)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Program is a synthesized SPMD program over a single-device graph.
+type Program struct {
+	Graph  *graph.Graph
+	Instrs []Instruction
+}
+
+// NumComms returns the number of communication instructions.
+func (p *Program) NumComms() int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].IsComm {
+			n++
+		}
+	}
+	return n
+}
+
+// Format writes the program one instruction per line, mirroring the paper's
+// program listings (Fig. 6): communications in assignment form
+// ("e7 = all-gather(e7, 1)"), computations annotated with the node's name,
+// the loss marker, and "replicated" for non-leaf computations whose flops do
+// not scale with the sharding ratio (the SFB pattern).
+func (p *Program) Format(w io.Writer) error {
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		line := in.String()
+		if in.IsComm {
+			line = fmt.Sprintf("e%d = %s", in.Ref, line)
+		}
+		var notes []string
+		if p.Graph != nil && in.Ref >= 0 && int(in.Ref) < p.Graph.NumNodes() && !in.IsComm {
+			n := p.Graph.Node(in.Ref)
+			if n.Name != "" {
+				notes = append(notes, n.Name)
+			}
+			if in.Ref == p.Graph.Loss {
+				notes = append(notes, "loss")
+			}
+			if !in.FlopsScaled && !isLeafKind(n.Kind) && n.Kind != graph.Expand {
+				notes = append(notes, "replicated")
+			}
+		}
+		if len(notes) > 0 {
+			line += "  # " + strings.Join(notes, ", ")
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the program as its disassembly listing.
+func (p *Program) String() string {
+	var b strings.Builder
+	p.Format(&b) // strings.Builder writes cannot fail
+	return b.String()
+}

@@ -1,0 +1,155 @@
+// Stable JSON serialization of distributed programs, so plans can be
+// exported, diffed and re-loaded. Op and collective kinds are serialized by
+// name (not ordinal), keeping the format robust to enum renumbering; the
+// graph travels separately — Decode re-binds the instruction stream to a
+// caller-provided graph and validates the result.
+
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"hap/internal/collective"
+	"hap/internal/graph"
+)
+
+// formatVersion is bumped on incompatible changes to the serialized form.
+const formatVersion = 1
+
+// programJSON is the on-disk form of a Program.
+type programJSON struct {
+	Version   int         `json:"version"`
+	Nodes     int         `json:"nodes"`      // graph size, for a readable mismatch message
+	GraphHash string      `json:"graph_hash"` // structural fingerprint for binding checks
+	Instrs    []instrJSON `json:"instrs"`
+}
+
+// instrJSON is one serialized instruction: computations carry op/shard_dim/
+// flops_scaled (inputs are rebuilt from the binding graph, which Validate
+// guarantees they mirror), communications carry comm/dim/dim2.
+type instrJSON struct {
+	Ref         int    `json:"ref"`
+	Op          string `json:"op,omitempty"`
+	ShardDim    *int   `json:"shard_dim,omitempty"`
+	FlopsScaled bool   `json:"flops_scaled,omitempty"`
+	Comm        string `json:"comm,omitempty"`
+	Dim         int    `json:"dim,omitempty"`
+	Dim2        int    `json:"dim2,omitempty"`
+}
+
+// graphFingerprint hashes the structure a program binds to — node kinds,
+// edges, shapes, segment assignment, and output designations — so a plan
+// cannot be silently re-bound to a graph it was not synthesized for (same
+// topology with different shapes costs and shards differently).
+func graphFingerprint(g *graph.Graph) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	for i := range g.Nodes {
+		n := g.Node(graph.NodeID(i))
+		put(int(n.Kind))
+		put(len(n.Inputs))
+		for _, u := range n.Inputs {
+			put(int(u))
+		}
+		put(len(n.Shape))
+		for _, d := range n.Shape {
+			put(d)
+		}
+	}
+	put(int(g.Loss))
+	for _, p := range g.Params {
+		put(int(p))
+		gp, ok := g.Grads[p]
+		if !ok {
+			gp = -1
+		}
+		put(int(gp))
+	}
+	put(len(g.SegmentOf))
+	for _, s := range g.SegmentOf {
+		put(s)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Encode writes the program as indented (diffable) JSON.
+func (p *Program) Encode(w io.Writer) error {
+	if p.Graph == nil {
+		return fmt.Errorf("dist: encode: program has no graph")
+	}
+	pj := programJSON{
+		Version: formatVersion, Nodes: p.Graph.NumNodes(),
+		GraphHash: graphFingerprint(p.Graph),
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.IsComm {
+			pj.Instrs = append(pj.Instrs, instrJSON{
+				Ref: int(in.Ref), Comm: in.Coll.String(), Dim: in.Dim, Dim2: in.Dim2,
+			})
+			continue
+		}
+		sd := in.ShardDim
+		pj.Instrs = append(pj.Instrs, instrJSON{
+			Ref: int(in.Ref), Op: in.Op.String(), ShardDim: &sd, FlopsScaled: in.FlopsScaled,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}
+
+// Decode reads a program written by Encode, binds it to g, and validates it.
+func Decode(r io.Reader, g *graph.Graph) (*Program, error) {
+	var pj programJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("dist: decode: %w", err)
+	}
+	if pj.Version != formatVersion {
+		return nil, fmt.Errorf("dist: decode: unsupported program version %d (want %d)", pj.Version, formatVersion)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dist: decode: no graph to bind the program to")
+	}
+	if pj.Nodes != g.NumNodes() {
+		return nil, fmt.Errorf("dist: decode: program was synthesized for a %d-node graph, binding graph has %d", pj.Nodes, g.NumNodes())
+	}
+	if fp := graphFingerprint(g); pj.GraphHash != fp {
+		return nil, fmt.Errorf("dist: decode: graph fingerprint mismatch (program %s, binding graph %s): the plan was synthesized for a structurally different graph", pj.GraphHash, fp)
+	}
+	p := &Program{Graph: g}
+	for i, ij := range pj.Instrs {
+		if ij.Comm != "" {
+			k, ok := collective.ParseKind(ij.Comm)
+			if !ok {
+				return nil, fmt.Errorf("dist: decode: instr %d: unknown collective %q", i, ij.Comm)
+			}
+			p.Instrs = append(p.Instrs, Comm(graph.NodeID(ij.Ref), k, ij.Dim, ij.Dim2))
+			continue
+		}
+		op, ok := graph.ParseOpKind(ij.Op)
+		if !ok {
+			return nil, fmt.Errorf("dist: decode: instr %d: unknown op %q", i, ij.Op)
+		}
+		in := Instruction{Ref: graph.NodeID(ij.Ref), Op: op, ShardDim: -1, FlopsScaled: ij.FlopsScaled}
+		if ij.ShardDim != nil {
+			in.ShardDim = *ij.ShardDim
+		}
+		if ij.Ref >= 0 && ij.Ref < g.NumNodes() && !isLeafKind(op) {
+			in.Inputs = append(in.Inputs, g.Node(graph.NodeID(ij.Ref)).Inputs...)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: decode: %w", err)
+	}
+	return p, nil
+}

@@ -109,6 +109,18 @@ func (k OpKind) String() string {
 	return fmt.Sprintf("op(%d)", int(k))
 }
 
+// ParseOpKind returns the op kind with the given name (as produced by
+// OpKind.String). Serialized programs store kinds by name so the format
+// survives enum renumbering.
+func ParseOpKind(name string) (OpKind, bool) {
+	for k, n := range opNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Node is one instruction of the single-device program, producing one tensor.
 type Node struct {
 	ID     NodeID
