@@ -1,0 +1,60 @@
+// Command hap-serve runs the HAP plan-cache daemon: an HTTP service that
+// synthesizes distributed plans for (graph, cluster) requests and memoizes
+// them in a content-addressed LRU cache, so a fleet of trainers asking for
+// the same model on the same cluster pays for one synthesis.
+//
+// Usage:
+//
+//	hap-serve [-addr :8080] [-cache-entries 1024] [-cache-bytes 268435456]
+//
+// Endpoints: POST /synthesize, GET /healthz, GET /stats. See internal/serve
+// for the wire format and README for a worked example.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hap/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	entries := flag.Int("cache-entries", serve.DefaultMaxCacheEntries, "max cached plans")
+	bytes := flag.Int64("cache-bytes", serve.DefaultMaxCacheBytes, "max total bytes of cached plans")
+	flag.Parse()
+
+	s := serve.New(serve.Config{MaxCacheEntries: *entries, MaxCacheBytes: *bytes})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("hap-serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("hap-serve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("hap-serve: listening on %s (cache: %d entries, %d bytes)", *addr, *entries, *bytes)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -1,0 +1,134 @@
+package hap
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The randomized differential harness: generate seeded random training
+// graphs, synthesize a plan for each on several cluster shapes, and check
+// the plan is semantically equivalent to the single-device graph
+// (hap.Verify executes both on random data). This is the pipeline-wide
+// correctness test: a bug anywhere in the theory rules, the synthesizer,
+// the balancer, or the data-plane collectives surfaces as a mismatch.
+//
+// Reproduce a failure by pinning the reported seed:
+//
+//	go test -run TestDifferential -fuzz-seed 12345 -fuzz-graphs 1
+var (
+	fuzzSeed   = flag.Int64("fuzz-seed", 1, "base seed for the differential fuzz harness")
+	fuzzGraphs = flag.Int("fuzz-graphs", 50, "number of random graphs the differential harness generates")
+)
+
+// randomTrainingGraph builds a random small MLP-family training graph:
+// 1–3 matmul layers over a random batch and widths, with random activations
+// (ReLU/Sigmoid/GeLU/Softmax), element-wise parameter interactions
+// (Add/Mul), scaling, an optional two-branch fan-out with accumulation, and
+// a full backward pass.
+func randomTrainingGraph(t *testing.T, rng *rand.Rand) *Graph {
+	t.Helper()
+	g := NewGraph()
+	b := []int{16, 32, 64}[rng.Intn(3)]
+	f := 4 + rng.Intn(29)
+	cur := g.AddPlaceholder("x", 0, b, f)
+
+	layers := 1 + rng.Intn(3)
+	for l := 0; l < layers; l++ {
+		out := 4 + rng.Intn(29)
+		if rng.Intn(4) == 0 {
+			// Two-branch layer: y = act(x·w) ⊕ act'(x·w'), exercising fan-out
+			// and gradient accumulation.
+			w1 := g.AddParameter(fmt.Sprintf("w%da", l), f, out)
+			w2 := g.AddParameter(fmt.Sprintf("w%db", l), f, out)
+			h1 := randomActivation(g, rng, g.AddOp(MatMul, cur, w1))
+			h2 := randomActivation(g, rng, g.AddOp(MatMul, cur, w2))
+			cur = g.AddOp(Add, h1, h2)
+		} else {
+			w := g.AddParameter(fmt.Sprintf("w%d", l), f, out)
+			cur = randomActivation(g, rng, g.AddOp(MatMul, cur, w))
+			if rng.Intn(3) == 0 {
+				// Element-wise interaction with a full-shape parameter.
+				p := g.AddParameter(fmt.Sprintf("p%d", l), b, out)
+				if rng.Intn(2) == 0 {
+					cur = g.AddOp(Add, cur, p)
+				} else {
+					cur = g.AddOp(Mul, cur, p)
+				}
+			}
+		}
+		f = out
+		if rng.Intn(4) == 0 {
+			cur = g.AddScale(cur, 0.25+rng.Float64())
+		}
+	}
+	g.SetLoss(g.AddOp(Sum, g.AddScale(cur, 1/float64(b))))
+	if err := Backward(g); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	return g
+}
+
+func randomActivation(g *Graph, rng *rand.Rand, id NodeID) NodeID {
+	switch rng.Intn(5) {
+	case 0:
+		return g.AddOp(ReLU, id)
+	case 1:
+		return g.AddOp(Sigmoid, id)
+	case 2:
+		return g.AddOp(GeLU, id)
+	case 3:
+		return g.AddOp(Softmax, id)
+	default:
+		return id
+	}
+}
+
+// fuzzClusters are the cluster shapes every random graph is planned on:
+// heterogeneous across machines, homogeneous within one machine, and a
+// three-machine mix with machine-level (multi-GPU) virtual devices.
+func fuzzClusters() []*Cluster {
+	return []*Cluster{
+		PerGPU(MachineSpec{Type: V100, GPUs: 1}, MachineSpec{Type: P100, GPUs: 1}),
+		PerGPU(MachineSpec{Type: P100, GPUs: 2}),
+		Heterogeneous(MachineSpec{Type: V100, GPUs: 2}, MachineSpec{Type: P100, GPUs: 2}, MachineSpec{Type: P100, GPUs: 2}),
+	}
+}
+
+func TestDifferentialRandomGraphs(t *testing.T) {
+	graphs := *fuzzGraphs
+	if testing.Short() {
+		graphs = 10
+	}
+	clusters := fuzzClusters()
+	for i := 0; i < graphs; i++ {
+		seed := *fuzzSeed + int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTrainingGraph(t, rng)
+		// Per-segment sharding ratios for some multi-layer graphs.
+		segments := 1
+		if g.ForwardCount >= 6 && rng.Intn(2) == 0 {
+			segments = 2
+		}
+		for ci, c := range clusters {
+			c := c
+			t.Run(fmt.Sprintf("seed=%d/cluster=%d/segments=%d", seed, ci, segments), func(t *testing.T) {
+				plan, err := Parallelize(g, c, Options{Segments: segments})
+				if err != nil {
+					t.Fatalf("Parallelize on\n%s: %v", g, err)
+				}
+				if plan.Cost <= 0 || len(plan.Program.Instrs) == 0 {
+					t.Fatalf("degenerate plan (cost %v, %d instrs)", plan.Cost, len(plan.Program.Instrs))
+				}
+				if err := plan.Program.Validate(); err != nil {
+					t.Fatalf("ill-formed program: %v\n%s", err, plan.Program)
+				}
+				if err := Verify(plan, c.M(), seed); err != nil {
+					t.Errorf("synthesized program is not equivalent to the graph: %v\ngraph:\n%s\nprogram:\n%s",
+						err, g, plan.Program)
+				}
+			})
+		}
+	}
+}

@@ -65,6 +65,7 @@ type (
 const (
 	MatMul  = graph.MatMul
 	Add     = graph.Add
+	Mul     = graph.Mul
 	ReLU    = graph.ReLU
 	GeLU    = graph.GeLU
 	Sigmoid = graph.Sigmoid
@@ -191,12 +192,18 @@ func ReadProgram(r io.Reader, g *Graph) (*Plan, error) {
 	if len(pj.SegmentOf) != 0 && len(pj.SegmentOf) != g.NumNodes() {
 		return nil, fmt.Errorf("hap: read plan: segment assignment covers %d nodes, the graph has %d", len(pj.SegmentOf), g.NumNodes())
 	}
+	// Adopt the plan's segment assignment only if the whole load succeeds: a
+	// failed ReadProgram must not leave the caller's graph mutated (a plan
+	// already bound to g would then index ratio rows with a stale assignment).
+	prevSegments := g.SegmentOf
 	g.SegmentOf = pj.SegmentOf
 	prog, err := dist.Decode(bytes.NewReader(pj.Program), g)
 	if err != nil {
+		g.SegmentOf = prevSegments
 		return nil, fmt.Errorf("hap: read plan: %w", err)
 	}
 	if err := validateRatios(pj.Ratios, g.NumSegments()); err != nil {
+		g.SegmentOf = prevSegments
 		return nil, fmt.Errorf("hap: read plan: %w", err)
 	}
 	return &Plan{

@@ -55,17 +55,17 @@ func (v VirtualDevice) MemBytes() float64 {
 
 // Network holds the fitted-model inputs for collective costs.
 type Network struct {
-	InterBW      float64 // inter-machine bandwidth per direction, bytes/s
-	InterLatency float64 // per-hop latency for inter-machine transfers, s
-	IntraBW      float64 // intra-machine (NVLink/PCIe) bandwidth, bytes/s
-	IntraLatency float64 // intra-machine per-hop latency, s
+	InterBW      float64 `json:"inter_bw"`      // inter-machine bandwidth per direction, bytes/s
+	InterLatency float64 `json:"inter_latency"` // per-hop latency for inter-machine transfers, s
+	IntraBW      float64 `json:"intra_bw"`      // intra-machine (NVLink/PCIe) bandwidth, bytes/s
+	IntraLatency float64 `json:"intra_latency"` // intra-machine per-hop latency, s
 	// KernelOverhead is the per-kernel launch cost; grouped Broadcast pays
 	// it once per shard, which is the trade-off of Sec. 2.5.1.
-	KernelOverhead float64
+	KernelOverhead float64 `json:"kernel_overhead"`
 	// BroadcastFactor derates the per-broadcast achievable bandwidth
 	// relative to the optimized ring primitives (NCCL broadcasts of
 	// individually small shards do not reach ring throughput).
-	BroadcastFactor float64
+	BroadcastFactor float64 `json:"broadcast_factor"`
 }
 
 // DefaultNetwork returns the network constants modeled on the paper's

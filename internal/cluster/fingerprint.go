@@ -1,0 +1,32 @@
+// Content fingerprinting of cluster specifications, used by the serve cache
+// to key synthesized plans by (graph, cluster) content.
+
+package cluster
+
+import "hap/internal/fingerprint"
+
+// Fingerprint returns a stable content hash of everything plan synthesis
+// depends on: per-device capability (GPU count, flops, memory, hosting
+// machine) in device order, and every network-model parameter. Device and
+// type names are labels and do not participate — renaming a device cannot
+// change the plan, so it must not change the key. Device *order* does
+// participate: sharding ratios index devices positionally, so a permuted
+// cluster is a different specification. The hash involves no map iteration
+// and is deterministic across processes.
+func (c *Cluster) Fingerprint() string {
+	h := fingerprint.New()
+	h.Int(len(c.Devices))
+	for _, d := range c.Devices {
+		h.Int(d.GPUs)
+		h.Int(d.Machine)
+		h.Float(d.Type.TFLOPS)
+		h.Float(d.Type.MemGB)
+	}
+	h.Float(c.Net.InterBW)
+	h.Float(c.Net.InterLatency)
+	h.Float(c.Net.IntraBW)
+	h.Float(c.Net.IntraLatency)
+	h.Float(c.Net.KernelOverhead)
+	h.Float(c.Net.BroadcastFactor)
+	return h.Sum()
+}

@@ -7,10 +7,8 @@
 package dist
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 
 	"hap/internal/collective"
@@ -18,7 +16,9 @@ import (
 )
 
 // formatVersion is bumped on incompatible changes to the serialized form.
-const formatVersion = 1
+// Version 2 widened the graph fingerprint (now graph.Fingerprint) to cover
+// numeric node attributes — scale factors, flop overrides, batch axes.
+const formatVersion = 2
 
 // programJSON is the on-disk form of a Program.
 type programJSON struct {
@@ -41,53 +41,17 @@ type instrJSON struct {
 	Dim2        int    `json:"dim2,omitempty"`
 }
 
-// graphFingerprint hashes the structure a program binds to — node kinds,
-// edges, shapes, segment assignment, and output designations — so a plan
-// cannot be silently re-bound to a graph it was not synthesized for (same
-// topology with different shapes costs and shards differently).
-func graphFingerprint(g *graph.Graph) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
-		h.Write(buf[:])
-	}
-	for i := range g.Nodes {
-		n := g.Node(graph.NodeID(i))
-		put(int(n.Kind))
-		put(len(n.Inputs))
-		for _, u := range n.Inputs {
-			put(int(u))
-		}
-		put(len(n.Shape))
-		for _, d := range n.Shape {
-			put(d)
-		}
-	}
-	put(int(g.Loss))
-	for _, p := range g.Params {
-		put(int(p))
-		gp, ok := g.Grads[p]
-		if !ok {
-			gp = -1
-		}
-		put(int(gp))
-	}
-	put(len(g.SegmentOf))
-	for _, s := range g.SegmentOf {
-		put(s)
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-// Encode writes the program as indented (diffable) JSON.
+// Encode writes the program as indented (diffable) JSON. The embedded
+// graph_hash (graph.Fingerprint) is the binding check: a plan cannot be
+// silently re-bound to a graph it was not synthesized for (same topology with
+// different shapes costs and shards differently).
 func (p *Program) Encode(w io.Writer) error {
 	if p.Graph == nil {
 		return fmt.Errorf("dist: encode: program has no graph")
 	}
 	pj := programJSON{
 		Version: formatVersion, Nodes: p.Graph.NumNodes(),
-		GraphHash: graphFingerprint(p.Graph),
+		GraphHash: graph.Fingerprint(p.Graph),
 	}
 	for i := range p.Instrs {
 		in := &p.Instrs[i]
@@ -122,7 +86,7 @@ func Decode(r io.Reader, g *graph.Graph) (*Program, error) {
 	if pj.Nodes != g.NumNodes() {
 		return nil, fmt.Errorf("dist: decode: program was synthesized for a %d-node graph, binding graph has %d", pj.Nodes, g.NumNodes())
 	}
-	if fp := graphFingerprint(g); pj.GraphHash != fp {
+	if fp := graph.Fingerprint(g); pj.GraphHash != fp {
 		return nil, fmt.Errorf("dist: decode: graph fingerprint mismatch (program %s, binding graph %s): the plan was synthesized for a structurally different graph", pj.GraphHash, fp)
 	}
 	p := &Program{Graph: g}

@@ -65,7 +65,7 @@ func TestDecodeRejections(t *testing.T) {
 		{"graph size mismatch", enc, graph.New(), "binding graph"},
 		{"unknown op", strings.Replace(enc, `"op": "matmul"`, `"op": "quantum_matmul"`, 1), g, "unknown op"},
 		{"unknown collective", strings.Replace(enc, `"comm": "all-reduce"`, `"comm": "teleport"`, 1), g, "unknown collective"},
-		{"bad version", strings.Replace(enc, `"version": 1`, `"version": 99`, 1), g, "version"},
+		{"bad version", strings.Replace(enc, `"version": 2`, `"version": 99`, 1), g, "version"},
 		{"not json", "][", g, "decode"},
 		{"ill-formed program", strings.Replace(enc, `"shard_dim": 0`, `"shard_dim": 7`, 1), g, "out of range"},
 	}

@@ -1,0 +1,41 @@
+// Package fingerprint is the shared content-hashing helper behind
+// graph.Fingerprint and cluster.Fingerprint. Both hashes key the serve
+// plan cache and the plan→graph binding check, so they must evolve in
+// lockstep; keeping the byte-level scheme in one place prevents drift.
+package fingerprint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+)
+
+// Hasher accumulates ints and floats into a stable 64-bit content hash.
+type Hasher struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+// New returns an empty Hasher (FNV-64a).
+func New() *Hasher {
+	return &Hasher{h: fnv.New64a()}
+}
+
+// Int mixes a signed integer into the hash.
+func (h *Hasher) Int(v int) {
+	binary.LittleEndian.PutUint64(h.buf[:], uint64(int64(v)))
+	h.h.Write(h.buf[:])
+}
+
+// Float mixes a float64 into the hash by its exact bit pattern.
+func (h *Hasher) Float(v float64) {
+	binary.LittleEndian.PutUint64(h.buf[:], math.Float64bits(v))
+	h.h.Write(h.buf[:])
+}
+
+// Sum renders the accumulated hash as 16 hex digits.
+func (h *Hasher) Sum() string {
+	return fmt.Sprintf("%016x", h.h.Sum64())
+}

@@ -483,6 +483,11 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("graph: node %d (%v) references input %d out of topological order", i, n.Kind, in)
 			}
 		}
+		// Softmax normalizes along the last dim; a rank-0 output has no dim
+		// to normalize and the sharding rules cannot even be stated for it.
+		if (n.Kind == Softmax || n.Kind == SoftmaxGrad) && len(n.Shape) == 0 {
+			return fmt.Errorf("graph: node %d (%v) has scalar shape; softmax needs rank ≥ 1", i, n.Kind)
+		}
 	}
 	if g.Loss >= 0 && len(g.Node(g.Loss).Shape) != 0 {
 		return fmt.Errorf("graph: loss node %d is not scalar", g.Loss)

@@ -46,6 +46,10 @@ type Result struct {
 	Iters   int
 	Elapsed time.Duration
 	Synth   synth.Stats // stats of the final synthesis
+	// Pruned is the number of dead instructions removed from Program before
+	// cost modeling (the synthesizer's fused-leaf optimization can leave
+	// displaced leaf loaders behind; see dist.Prune).
+	Pruned int
 }
 
 // Optimize runs the full HAP pipeline on a training graph and cluster.
@@ -101,7 +105,7 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 				p, stats = cp, cs
 			}
 		}
-		model := cost.Extract(c, p)
+		model, pruned := pruneAndModel(c, p)
 		if !opt.SkipBalance {
 			nb, err := balance.RatiosFromModel(model)
 			if err != nil {
@@ -111,7 +115,7 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 		}
 		t := model.Eval(b)
 		if best == nil || t < best.Cost {
-			best = &Result{Program: p, Ratios: cloneRatios(b), Cost: t, Iters: iter, Synth: stats}
+			best = &Result{Program: p, Ratios: cloneRatios(b), Cost: t, Iters: iter, Synth: stats, Pruned: pruned}
 		}
 		// Convergence / oscillation detection on the (program, ratios) pair.
 		key := p.String() + ratiosKey(b)
@@ -122,6 +126,15 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 	}
 	best.Elapsed = time.Since(start)
 	return best, nil
+}
+
+// pruneAndModel eliminates dead code from a synthesized program and then
+// extracts its cost model. Dead instructions must never reach cost modeling
+// or the balancer: a leaf loader (or a collective on it) that the fused-leaf
+// optimization displaced would otherwise inflate t(Q,B) and skew B.
+func pruneAndModel(c *cluster.Cluster, p *dist.Program) (*cost.Model, int) {
+	pruned := p.Prune()
+	return cost.Extract(c, p), pruned
 }
 
 func hasExperts(g *graph.Graph) bool {

@@ -4,7 +4,10 @@ import (
 	"testing"
 
 	"hap/internal/cluster"
+	"hap/internal/collective"
 	"hap/internal/cost"
+	"hap/internal/dist"
+	"hap/internal/graph"
 	"hap/internal/models"
 	"hap/internal/runtime"
 	"hap/internal/segment"
@@ -128,6 +131,65 @@ func TestOptimizedPlanNumericallyEquivalent(t *testing.T) {
 		if err := runtime.VerifyEquivalence(res.Program, c.M(), res.Ratios, 17); err != nil {
 			t.Errorf("segments=%d: %v\n%s", segments, err, res.Program)
 		}
+	}
+}
+
+// TestDeadCodePrunedBeforeCostModeling checks the Prune() wiring in
+// Optimize: a program carrying dead instructions — a displaced leaf loader,
+// a computation on it, and a collective on the result, the debris the
+// fused-leaf optimization can leave behind — is cleaned before cost
+// extraction, so the dead work never inflates t(Q,B) or skews the balancer.
+func TestDeadCodePrunedBeforeCostModeling(t *testing.T) {
+	g := models.Training(models.MLP(24, 8, 12, 6))
+	// A dead branch in the graph: an input nothing consumes, plus a
+	// computation on it. Neither reaches the loss or any gradient.
+	d := g.AddPlaceholder("unused", 0, 24, 8)
+	r := g.AddOp(graph.ReLU, d)
+	c := hetero2()
+
+	res, err := Optimize(g, c, Options{})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	// Today's synthesizer emits dead-code-free programs for this graph; the
+	// wiring must be a no-op on them.
+	if res.Pruned != 0 {
+		t.Errorf("Optimize pruned %d instructions from a dead-free synthesis", res.Pruned)
+	}
+	for _, in := range res.Program.Instrs {
+		if in.Ref == d || in.Ref == r {
+			t.Fatalf("synthesizer placed dead node e%d; test premise broken:\n%s", in.Ref, res.Program)
+		}
+	}
+
+	// Inject the dead instructions and re-run the prune+cost step Optimize
+	// uses. The dirty program is structurally legal — only liveness analysis
+	// can reject it.
+	dirty := &dist.Program{Graph: g, Instrs: append(append([]dist.Instruction{}, res.Program.Instrs...),
+		dist.Instruction{Ref: d, Op: graph.Placeholder, ShardDim: 0},
+		dist.Instruction{Ref: r, Op: graph.ReLU, Inputs: []graph.NodeID{d}, ShardDim: -1, FlopsScaled: true},
+		dist.Comm(r, collective.AllReduce, 0, 0),
+	)}
+	if err := dirty.Validate(); err != nil {
+		t.Fatalf("dirty program unexpectedly ill-formed: %v", err)
+	}
+	b := cost.UniformRatios(g.NumSegments(), c.ProportionalRatios())
+	dirtyCost := cost.Extract(c, dirty).Eval(b)
+
+	model, pruned := pruneAndModel(c, dirty)
+	if pruned != 3 {
+		t.Errorf("pruneAndModel removed %d instructions, want 3", pruned)
+	}
+	if len(dirty.Instrs) != len(res.Program.Instrs) {
+		t.Errorf("pruned program has %d instructions, want %d", len(dirty.Instrs), len(res.Program.Instrs))
+	}
+	cleanCost := model.Eval(b)
+	if cleanCost >= dirtyCost {
+		t.Errorf("dead code did not inflate the modeled cost (clean %v, dirty %v) — prune-before-model is not observable", cleanCost, dirtyCost)
+	}
+	// The pruned program must still be what the synthesizer produced.
+	if dirty.String() != res.Program.String() {
+		t.Errorf("prune changed live instructions:\n%s\nvs\n%s", dirty, res.Program)
 	}
 }
 

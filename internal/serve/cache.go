@@ -1,0 +1,87 @@
+// A concurrency-safe LRU cache for encoded plans, bounded both by entry
+// count and by total value bytes. Plans for model-scale graphs run ~100 KB
+// of JSON each (see ROADMAP), so the byte cap is the binding limit in
+// production; the entry cap is a backstop against many tiny plans.
+
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+type lruCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	bytes     int64
+	evictions uint64
+}
+
+func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      map[string]*list.Element{},
+	}
+}
+
+// get returns the cached value and refreshes its recency. The returned slice
+// is shared — callers must not mutate it.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).val, true
+}
+
+// add inserts (or refreshes) a value and evicts from the LRU tail until both
+// caps hold. A value larger than maxBytes on its own is not cached at all —
+// caching it would evict everything else for a single entry.
+func (c *lruCache) add(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(val)) > c.maxBytes {
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.items, ent.key)
+		c.bytes -= int64(len(ent.val))
+		c.evictions++
+	}
+}
+
+// snapshot returns (entries, bytes, evictions) for /stats.
+func (c *lruCache) snapshot() (int, int64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.evictions
+}

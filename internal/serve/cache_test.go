@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEntryCapEvictsOldest(t *testing.T) {
+	c := newLRUCache(2, 1<<20)
+	c.add("a", []byte("1"))
+	c.add("b", []byte("2"))
+	c.add("c", []byte("3"))
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest entry survived the entry cap")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("entry %q evicted prematurely", k)
+		}
+	}
+	if entries, bytes, evictions := c.snapshot(); entries != 2 || bytes != 2 || evictions != 1 {
+		t.Errorf("snapshot = (%d, %d, %d), want (2, 2, 1)", entries, bytes, evictions)
+	}
+}
+
+func TestLRUByteCapEvicts(t *testing.T) {
+	c := newLRUCache(100, 10)
+	c.add("a", make([]byte, 6))
+	c.add("b", make([]byte, 6)) // 12 > 10: "a" must go
+	if _, ok := c.get("a"); ok {
+		t.Error("byte cap not enforced")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+func TestLRUGetRefreshesRecency(t *testing.T) {
+	c := newLRUCache(2, 1<<20)
+	c.add("a", []byte("1"))
+	c.add("b", []byte("2"))
+	c.get("a") // "b" is now least recent
+	c.add("c", []byte("3"))
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestLRUOversizedValueNotCached(t *testing.T) {
+	c := newLRUCache(10, 4)
+	c.add("big", make([]byte, 5))
+	if _, ok := c.get("big"); ok {
+		t.Error("value above the byte cap was cached")
+	}
+	if entries, bytes, _ := c.snapshot(); entries != 0 || bytes != 0 {
+		t.Errorf("snapshot = (%d, %d), want empty", entries, bytes)
+	}
+}
+
+func TestLRUUpdateExistingKey(t *testing.T) {
+	c := newLRUCache(10, 1<<20)
+	c.add("a", []byte("1"))
+	c.add("a", []byte("1234"))
+	v, ok := c.get("a")
+	if !ok || string(v) != "1234" {
+		t.Errorf("get after update = %q, %v", v, ok)
+	}
+	if entries, bytes, _ := c.snapshot(); entries != 1 || bytes != 4 {
+		t.Errorf("snapshot = (%d, %d), want (1, 4)", entries, bytes)
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	// Meaningful under -race: hammer the cache from many goroutines.
+	c := newLRUCache(32, 1<<20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				k := fmt.Sprintf("k%d", (id+j)%64)
+				c.add(k, []byte(k))
+				c.get(k)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if entries, _, _ := c.snapshot(); entries > 32 {
+		t.Errorf("%d entries above the cap", entries)
+	}
+}
+
+func TestSingleFlightSharesResult(t *testing.T) {
+	var g flightGroup
+	calls := 0
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([][]byte, 10)
+	shared := make([]bool, 10)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, sh := g.do("k", func() ([]byte, error) {
+				calls++ // safe: only one executor may run at a time
+				<-gate
+				return []byte("result"), nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+			}
+			results[i], shared[i] = v, sh
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if calls == 0 {
+		t.Fatal("fn never ran")
+	}
+	nonShared := 0
+	for i := range results {
+		if string(results[i]) != "result" {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+		if !shared[i] {
+			nonShared++
+		}
+	}
+	if nonShared != calls {
+		t.Errorf("%d executors but %d non-shared results", calls, nonShared)
+	}
+}

@@ -1,0 +1,250 @@
+// Package serve implements the hap-serve plan-cache daemon: an HTTP service
+// that accepts a (graph, cluster) pair in the JSON wire formats, synthesizes
+// a distributed plan with the full HAP pipeline, and returns the encoded
+// plan — memoizing results in a concurrency-safe, content-addressed LRU
+// cache keyed by (graph fingerprint, cluster fingerprint, options).
+//
+// Synthesis is the expensive step (seconds to minutes at model scale), so
+// the cache is the point of the daemon: a fleet of trainers asking for the
+// same (model, cluster) pair pays for one synthesis. Concurrent identical
+// requests are single-flighted — they block on the one in-flight synthesis
+// instead of each starting their own.
+//
+// Endpoints:
+//
+//	POST /synthesize  {"graph": ..., "cluster": ..., "options": ...} → plan JSON
+//	GET  /healthz     liveness probe
+//	GET  /stats       cache and request counters, JSON
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"hap"
+	"hap/internal/cluster"
+	"hap/internal/graph"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxCacheEntries = 1024
+	DefaultMaxCacheBytes   = 256 << 20 // plans are ~100 KB at model scale
+	DefaultMaxRequestBytes = 64 << 20
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxCacheEntries caps the number of cached plans (0 = default).
+	MaxCacheEntries int
+	// MaxCacheBytes caps the total bytes of cached plans (0 = default).
+	MaxCacheBytes int64
+	// MaxRequestBytes caps the accepted request body size (0 = default).
+	MaxRequestBytes int64
+	// Synthesize overrides the planner, for tests. Nil means hap.Parallelize.
+	Synthesize func(*graph.Graph, *cluster.Cluster, hap.Options) (*hap.Plan, error)
+}
+
+// Request is the body of POST /synthesize: a graph and a cluster in their
+// JSON wire formats (graph.Encode, cluster.Encode), plus planner options.
+type Request struct {
+	Graph   json.RawMessage `json:"graph"`
+	Cluster json.RawMessage `json:"cluster"`
+	Options RequestOptions  `json:"options"`
+}
+
+// RequestOptions mirrors hap.Options on the wire.
+type RequestOptions struct {
+	Segments      int  `json:"segments,omitempty"`
+	MaxIterations int  `json:"max_iterations,omitempty"`
+	ExactSearch   bool `json:"exact_search,omitempty"`
+}
+
+// Stats is the GET /stats payload.
+type Stats struct {
+	Requests       uint64  `json:"requests"`        // POST /synthesize requests
+	CacheHits      uint64  `json:"cache_hits"`      // served straight from cache
+	CacheMisses    uint64  `json:"cache_misses"`    // required (or joined) a synthesis
+	Syntheses      uint64  `json:"syntheses"`       // plans actually synthesized
+	FlightShared   uint64  `json:"flight_shared"`   // misses that joined an in-flight synthesis
+	Errors         uint64  `json:"errors"`          // requests answered with an error status
+	CacheEntries   int     `json:"cache_entries"`   // plans currently cached
+	CacheBytes     int64   `json:"cache_bytes"`     // bytes currently cached
+	CacheEvictions uint64  `json:"cache_evictions"` // plans evicted by the LRU caps
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
+// Server is the plan-cache daemon. Create with New, mount via Handler.
+type Server struct {
+	cfg    Config
+	cache  *lruCache
+	flight flightGroup
+	start  time.Time
+
+	requests     atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	syntheses    atomic.Uint64
+	flightShared atomic.Uint64
+	errors       atomic.Uint64
+}
+
+// New returns a Server with zero Config values filled from the defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxCacheEntries <= 0 {
+		cfg.MaxCacheEntries = DefaultMaxCacheEntries
+	}
+	if cfg.MaxCacheBytes <= 0 {
+		cfg.MaxCacheBytes = DefaultMaxCacheBytes
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if cfg.Synthesize == nil {
+		cfg.Synthesize = func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			return hap.Parallelize(g, c, opt)
+		}
+	}
+	return &Server{
+		cfg:   cfg,
+		cache: newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", s.handleSynthesize)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	entries, bytes, evictions := s.cache.snapshot()
+	return Stats{
+		Requests:       s.requests.Load(),
+		CacheHits:      s.hits.Load(),
+		CacheMisses:    s.misses.Load(),
+		Syntheses:      s.syntheses.Load(),
+		FlightShared:   s.flightShared.Load(),
+		Errors:         s.errors.Load(),
+		CacheEntries:   entries,
+		CacheBytes:     bytes,
+		CacheEvictions: evictions,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+	}
+}
+
+// cacheKey is the content address of a plan: what the graph computes, what
+// the cluster can do, and how the planner was asked to run. Names and other
+// labels do not participate (see graph.Fingerprint, Cluster.Fingerprint).
+func cacheKey(g *graph.Graph, c *cluster.Cluster, opt RequestOptions) string {
+	return fmt.Sprintf("%s:%s:s%d:i%d:x%t",
+		graph.Fingerprint(g), c.Fingerprint(),
+		opt.Segments, opt.MaxIterations, opt.ExactSearch)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.requests.Add(1)
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Graph) == 0 || len(req.Cluster) == 0 {
+		s.fail(w, http.StatusBadRequest, "bad request: graph and cluster are required")
+		return
+	}
+	g, err := graph.Decode(bytes.NewReader(req.Graph))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	c, err := cluster.Decode(bytes.NewReader(req.Cluster))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+
+	key := cacheKey(g, c, req.Options)
+	if plan, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		writePlan(w, plan, "hit")
+		return
+	}
+	s.misses.Add(1)
+	plan, err, shared := s.flight.do(key, func() ([]byte, error) {
+		// Re-check under the flight: a request that missed while a previous
+		// flight for this key was completing would otherwise re-synthesize a
+		// plan the cache now holds.
+		if v, ok := s.cache.get(key); ok {
+			return v, nil
+		}
+		s.syntheses.Add(1)
+		p, err := s.cfg.Synthesize(g, c, hap.Options{
+			Segments:      req.Options.Segments,
+			MaxIterations: req.Options.MaxIterations,
+			ExactSearch:   req.Options.ExactSearch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := p.WriteProgram(&buf); err != nil {
+			return nil, err
+		}
+		// Cache before the flight key is released: a request arriving between
+		// flight completion and a later insert would synthesize a second time.
+		s.cache.add(key, buf.Bytes())
+		return buf.Bytes(), nil
+	})
+	if shared {
+		s.flightShared.Add(1)
+	}
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "synthesis failed: %v", err)
+		return
+	}
+	writePlan(w, plan, "miss")
+}
+
+func writePlan(w http.ResponseWriter, plan []byte, cache string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-HAP-Cache", cache)
+	w.Write(plan)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}

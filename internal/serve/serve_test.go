@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hap"
+	"hap/internal/cluster"
+	"hap/internal/graph"
+)
+
+// testGraph builds the MLP training graph used across the repo's tests.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := hap.NewGraph()
+	x := g.AddPlaceholder("x", 0, 64, 32)
+	w1 := g.AddParameter("w1", 32, 48)
+	w2 := g.AddParameter("w2", 48, 8)
+	h := g.AddOp(hap.ReLU, g.AddOp(hap.MatMul, x, w1))
+	g.SetLoss(g.AddOp(hap.Sum, g.AddScale(g.AddOp(hap.MatMul, h, w2), 1.0/64)))
+	if err := hap.Backward(g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testCluster() *cluster.Cluster {
+	return cluster.FromGPUs(cluster.DefaultNetwork(),
+		cluster.MachineSpec{Type: cluster.V100, GPUs: 1},
+		cluster.MachineSpec{Type: cluster.P100, GPUs: 1})
+}
+
+// requestBody assembles a POST /synthesize body from wire-encoded parts.
+func requestBody(t *testing.T, g *graph.Graph, c *cluster.Cluster, opt RequestOptions) []byte {
+	t.Helper()
+	var gb, cb bytes.Buffer
+	if err := g.Encode(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encode(&cb); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(Request{Graph: gb.Bytes(), Cluster: cb.Bytes(), Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func post(t *testing.T, url string, body []byte) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-HAP-Cache"), b
+}
+
+func getStats(t *testing.T, url string) Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	return st
+}
+
+// TestServeEndToEnd drives the daemon over a loopback listener: a first
+// request synthesizes, a repeat is a cache hit, the returned plan re-binds to
+// an independently rebuilt graph and passes numeric verification.
+func TestServeEndToEnd(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}).Handler())
+	defer srv.Close()
+	c := testCluster()
+	body := requestBody(t, testGraph(t), c, RequestOptions{})
+
+	status, cacheHdr, plan := post(t, srv.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", status, plan)
+	}
+	if cacheHdr != "miss" {
+		t.Errorf("first request X-HAP-Cache = %q, want miss", cacheHdr)
+	}
+
+	// The plan must decode against a fresh rebuild of the same model and be
+	// semantically equivalent to it.
+	g2 := testGraph(t)
+	p, err := hap.ReadProgram(bytes.NewReader(plan), g2)
+	if err != nil {
+		t.Fatalf("ReadProgram on served plan: %v", err)
+	}
+	if err := p.Program.Validate(); err != nil {
+		t.Fatalf("served program ill-formed: %v", err)
+	}
+	if err := hap.Verify(p, c.M(), 7); err != nil {
+		t.Errorf("served plan fails verification: %v", err)
+	}
+
+	status, cacheHdr, plan2 := post(t, srv.URL, body)
+	if status != http.StatusOK || cacheHdr != "hit" {
+		t.Fatalf("repeat request: status %d, cache %q, want 200/hit", status, cacheHdr)
+	}
+	if !bytes.Equal(plan, plan2) {
+		t.Error("cache hit returned different bytes")
+	}
+
+	// A different cluster is a different content address.
+	hetero := cluster.FromGPUs(cluster.DefaultNetwork(),
+		cluster.MachineSpec{Type: cluster.A100, GPUs: 1},
+		cluster.MachineSpec{Type: cluster.P100, GPUs: 1})
+	status, cacheHdr, _ = post(t, srv.URL, requestBody(t, testGraph(t), hetero, RequestOptions{}))
+	if status != http.StatusOK || cacheHdr != "miss" {
+		t.Errorf("different cluster: status %d, cache %q, want 200/miss", status, cacheHdr)
+	}
+
+	st := getStats(t, srv.URL)
+	if st.Requests != 3 || st.CacheHits != 1 || st.Syntheses != 2 {
+		t.Errorf("stats = %+v, want 3 requests, 1 hit, 2 syntheses", st)
+	}
+	if st.CacheEntries != 2 || st.CacheBytes == 0 {
+		t.Errorf("cache holds %d entries / %d bytes, want 2 entries", st.CacheEntries, st.CacheBytes)
+	}
+}
+
+// TestServeSingleFlight issues the same request from N concurrent clients
+// while the first synthesis is deliberately held open, and asserts exactly
+// one synthesis ran — the rest either joined the flight or hit the cache.
+func TestServeSingleFlight(t *testing.T) {
+	const n = 10
+	var mu sync.Mutex
+	syntheses := 0
+	started := make(chan struct{})
+	release := make(chan struct{})
+	cfg := Config{
+		Synthesize: func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			mu.Lock()
+			syntheses++
+			first := syntheses == 1
+			mu.Unlock()
+			if first {
+				close(started) // let the test unleash the other clients
+				<-release      // hold the flight open while they pile in
+			}
+			return hap.Parallelize(g, c, opt)
+		},
+	}
+	s := New(cfg)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	body := requestBody(t, testGraph(t), testCluster(), RequestOptions{})
+
+	var wg sync.WaitGroup
+	plans := make([][]byte, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, plans[0] = post(t, srv.URL, body)
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, b := post(t, srv.URL, body)
+			if status != http.StatusOK {
+				t.Errorf("client %d: status %d: %s", i, status, b)
+			}
+			plans[i] = b
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if syntheses != 1 {
+		t.Errorf("%d syntheses for %d identical concurrent requests, want exactly 1", syntheses, n)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(plans[0], plans[i]) {
+			t.Errorf("client %d received a different plan", i)
+		}
+	}
+	st := s.Stats()
+	if st.Syntheses != 1 {
+		t.Errorf("stats report %d syntheses, want 1", st.Syntheses)
+	}
+	if st.Requests != n || st.CacheHits+st.CacheMisses != n {
+		t.Errorf("stats = %+v, want %d requests with hits+misses = %d", st, n, n)
+	}
+
+	// And afterwards the plan is cached: one more request is a pure hit.
+	status, cacheHdr, _ := post(t, srv.URL, body)
+	if status != http.StatusOK || cacheHdr != "hit" {
+		t.Errorf("post-flight request: status %d, cache %q, want 200/hit", status, cacheHdr)
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	good := requestBody(t, testGraph(t), testCluster(), RequestOptions{})
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+	}{
+		{"not json", "][", http.StatusBadRequest},
+		{"missing graph", `{"cluster": {"version": 1}}`, http.StatusBadRequest},
+		{"missing cluster", `{"graph": {"version": 1}}`, http.StatusBadRequest},
+		{"malformed graph", strings.Replace(string(good), `"op":"matmul"`, `"op":"quantum"`, 1), http.StatusBadRequest},
+		{"malformed cluster", strings.Replace(string(good), `"gpus":1`, `"gpus":0`, 1), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, _ := post(t, srv.URL, []byte(tc.body))
+			if status != tc.wantStatus {
+				t.Errorf("status = %d, want %d", status, tc.wantStatus)
+			}
+		})
+	}
+	resp, err := http.Get(srv.URL + "/synthesize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /synthesize = %d, want 405", resp.StatusCode)
+	}
+	if st := s.Stats(); st.Errors != uint64(len(cases))+1 {
+		t.Errorf("errors = %d, want %d", st.Errors, len(cases)+1)
+	}
+}
+
+func TestServeSynthesisFailureNotCached(t *testing.T) {
+	calls := 0
+	s := New(Config{
+		Synthesize: func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			calls++
+			return nil, io.ErrUnexpectedEOF
+		},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	body := requestBody(t, testGraph(t), testCluster(), RequestOptions{})
+	for i := 0; i < 2; i++ {
+		status, _, msg := post(t, srv.URL, body)
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("request %d: status %d (%s), want 422", i, status, msg)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("failed synthesis ran %d times, want 2 (errors must not be cached)", calls)
+	}
+}
+
+// TestServePanicContained: a panicking synthesis (reachable in principle
+// from hostile wire input) must answer 422 and release the single-flight
+// key — a wedged key would hang every future identical request forever.
+func TestServePanicContained(t *testing.T) {
+	calls := 0
+	s := New(Config{
+		Synthesize: func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			calls++
+			panic("slice bounds out of range")
+		},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	body := requestBody(t, testGraph(t), testCluster(), RequestOptions{})
+	for i := 0; i < 2; i++ {
+		status, _, msg := post(t, srv.URL, body) // post has a test deadline via t.Fatal on transport errors
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("request %d: status %d (%s), want 422", i, status, msg)
+		}
+		if !strings.Contains(string(msg), "panicked") {
+			t.Errorf("request %d: error %q does not mention the panic", i, msg)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("second request ran %d syntheses in total, want 2 (flight key must be released after a panic)", calls)
+	}
+}
+
+func TestServeOversizedRequestGets413(t *testing.T) {
+	s := New(Config{MaxRequestBytes: 128})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	body := requestBody(t, testGraph(t), testCluster(), RequestOptions{}) // well over 128 bytes
+	status, _, msg := post(t, srv.URL, body)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d (%s), want 413", status, msg)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(b)) != "ok" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, b)
+	}
+}

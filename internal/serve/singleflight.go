@@ -1,0 +1,57 @@
+// Single-flight de-duplication: concurrent requests for the same key run the
+// underlying function once and share its result. A minimal local take on
+// golang.org/x/sync/singleflight (the module is dependency-free).
+
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// do runs fn once per key at a time: the first caller executes it, concurrent
+// duplicates block and receive the same result. shared reports whether this
+// caller piggybacked on another's execution. A panic in fn is converted to an
+// error for every caller — the daemon accepts arbitrary client graphs, and a
+// panicking synthesis must not wedge the key forever (waiters blocked on a
+// WaitGroup that never completes).
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, fmt.Errorf("synthesis panicked: %v", r)
+			}
+			c.wg.Done()
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, c.err, false
+}

@@ -239,8 +239,11 @@ func New(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]float64, o
 	if opt.BeamWidth < 0 {
 		// Exact A* is exponential in both graph size and the communication
 		// branching (which grows with the device count); keep it for the
-		// regimes where it finishes in milliseconds.
-		if g.NumNodes() <= 60 && c.M() <= 2 {
+		// regimes where it finishes in milliseconds. The node bound is
+		// deliberately tight: randomized differential testing showed ~40-node
+		// training graphs where exact A* on 2 devices runs for minutes and
+		// allocates gigabytes before MaxExpansions trips.
+		if g.NumNodes() <= 24 && c.M() <= 2 {
 			opt.BeamWidth = 0 // exact
 		} else {
 			opt.BeamWidth = 48

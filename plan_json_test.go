@@ -165,6 +165,56 @@ func TestReadProgramRejectsBadRatios(t *testing.T) {
 	}
 }
 
+// A failed ReadProgram must not leave the caller's graph mutated: a plan
+// already bound to the graph would index its ratio rows with the clobbered
+// segment assignment.
+func TestFailedReadProgramLeavesGraphUnmutated(t *testing.T) {
+	g1 := quickstartGraph(t)
+	c := heteroPair()
+	plan, err := Parallelize(g1, c, Options{Segments: 2})
+	if err != nil {
+		t.Fatalf("Parallelize: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteProgram(&buf); err != nil {
+		t.Fatalf("WriteProgram: %v", err)
+	}
+	g2 := quickstartGraph(t)
+	back, err := ReadProgram(bytes.NewReader(buf.Bytes()), g2)
+	if err != nil {
+		t.Fatalf("ReadProgram: %v", err)
+	}
+	before := append([]int(nil), g2.SegmentOf...)
+
+	// Corrupt the plan so the load fails *after* the segment assignment
+	// would have been adopted: stripping segment_of changes the graph
+	// fingerprint, so the program no longer binds.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "segment_of")
+	bad, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProgram(bytes.NewReader(bad), g2); err == nil {
+		t.Fatal("ReadProgram accepted a plan with a stripped segment assignment")
+	}
+	if len(g2.SegmentOf) != len(before) {
+		t.Fatalf("failed ReadProgram mutated SegmentOf: %v vs %v", g2.SegmentOf, before)
+	}
+	for i := range before {
+		if g2.SegmentOf[i] != before[i] {
+			t.Fatalf("failed ReadProgram mutated SegmentOf: %v vs %v", g2.SegmentOf, before)
+		}
+	}
+	// The previously loaded plan still works against the intact graph.
+	if err := Verify(back, c.M(), 3); err != nil {
+		t.Errorf("plan bound before the failed load no longer verifies: %v", err)
+	}
+}
+
 // Binding a serialized plan to the wrong graph must fail loudly, not produce
 // a silently wrong program.
 func TestReadProgramRejectsWrongGraph(t *testing.T) {
