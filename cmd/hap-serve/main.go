@@ -6,9 +6,11 @@
 // Usage:
 //
 //	hap-serve [-addr :8080] [-cache-entries 1024] [-cache-bytes 268435456]
+//	          [-synth-budget 60s]
 //
-// Endpoints: POST /synthesize, GET /healthz, GET /stats. See internal/serve
-// for the wire format and README for a worked example.
+// Endpoints: POST /synthesize, GET /healthz, GET /stats, GET /metrics
+// (Prometheus text format). See internal/serve for the wire format and
+// README for a worked example.
 package main
 
 import (
@@ -29,9 +31,15 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	entries := flag.Int("cache-entries", serve.DefaultMaxCacheEntries, "max cached plans")
 	bytes := flag.Int64("cache-bytes", serve.DefaultMaxCacheBytes, "max total bytes of cached plans")
+	budget := flag.Duration("synth-budget", serve.DefaultSynthTimeBudget,
+		"wall-clock budget per request's synthesis, covering the whole optimization loop (0 = unlimited)")
 	flag.Parse()
 
-	s := serve.New(serve.Config{MaxCacheEntries: *entries, MaxCacheBytes: *bytes})
+	synthBudget := *budget
+	if synthBudget == 0 {
+		synthBudget = -1 // Config treats 0 as "use default"; negative = unlimited
+	}
+	s := serve.New(serve.Config{MaxCacheEntries: *entries, MaxCacheBytes: *bytes, SynthTimeBudget: synthBudget})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

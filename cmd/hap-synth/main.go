@@ -5,8 +5,8 @@
 // Usage:
 //
 //	hap-synth [-model VGG19|ViT|BERT-Base|BERT-MoE] [-k gpusPerMachine]
-//	          [-cluster hetero|homo|a100p100] [-segments n] [-trace file]
-//	          [-out plan.json]
+//	          [-cluster hetero|homo|a100p100] [-segments n] [-passes=true]
+//	          [-trace file] [-out plan.json]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	k := flag.Int("k", 1, "GPUs per machine")
 	clusterName := flag.String("cluster", "hetero", "cluster: hetero (2×V100+6×P100 machines), homo (4×P100), a100p100")
 	segments := flag.Int("segments", 1, "model segments for per-segment sharding ratios")
+	passes := flag.Bool("passes", true, "run the post-synthesis optimization pipeline (comm fusion, CSE, DCE)")
 	trace := flag.String("trace", "", "write a Chrome trace of one simulated iteration to this file")
 	out := flag.String("out", "", "export the plan (program + ratios) as JSON to this file and verify the round-trip")
 	flag.Parse()
@@ -48,7 +49,7 @@ func main() {
 	fmt.Printf("model %s: %d nodes, %.1fM parameters, %.2f GFLOPs/iteration\n",
 		*model, g.NumNodes(), float64(g.ParameterCount())/1e6, g.TotalFlops()/1e9)
 
-	plan, err := hap.Parallelize(g, c, hap.Options{Segments: *segments})
+	plan, err := hap.Parallelize(g, c, hap.Options{Segments: *segments, DisablePasses: !*passes})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +60,13 @@ func main() {
 	st := plan.Program.Stats()
 	fmt.Printf("\nprogram: %d instructions, %d collectives (%d ratio-scaled comps); histogram %v\n",
 		st.Instrs, st.Comms, st.FlopsScaled, st.PerCollective)
+	if *passes {
+		fmt.Printf("passes: %d rewrites in %d rounds", plan.Passes.Changed, plan.Passes.Rounds)
+		for _, ps := range plan.Passes.PerPass {
+			fmt.Printf("  %s=%d", ps.Pass, ps.Changed)
+		}
+		fmt.Println()
+	}
 
 	if *out != "" {
 		var buf bytes.Buffer

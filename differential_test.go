@@ -5,6 +5,10 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/passes"
 )
 
 // The randomized differential harness: generate seeded random training
@@ -96,6 +100,47 @@ func fuzzClusters() []*Cluster {
 	}
 }
 
+// passesArm is the pass-pipeline-enabled arm of the differential harness:
+// lower every all-reduce in the plan into its reduce-scatter + all-gather
+// ring phases (modeling a backend that emits collectives per edge), check
+// the lowered program still computes the graph, run the default pipeline,
+// and check semantic equivalence is preserved and the modeled cost never
+// increased — on every graph × cluster pair the harness generates.
+func passesArm(t *testing.T, plan *Plan, c *cluster.Cluster, seed int64) {
+	t.Helper()
+	lowered := plan.Program.Clone()
+	n, err := (passes.ExpandAllReduce{}).Run(lowered, c)
+	if err != nil {
+		t.Fatalf("ExpandAllReduce: %v", err)
+	}
+	loweredPlan := &Plan{Program: lowered, Ratios: plan.Ratios}
+	if n > 0 {
+		if err := Verify(loweredPlan, c.M(), seed); err != nil {
+			t.Fatalf("lowered program is not equivalent to the graph: %v\n%s", err, lowered)
+		}
+	}
+	loweredCost := cost.Evaluate(c, lowered, plan.Ratios)
+	loweredComms := lowered.NumComms()
+
+	st, err := passes.Default().Run(lowered, c)
+	if err != nil {
+		t.Fatalf("pass pipeline: %v\n%s", err, lowered)
+	}
+	if err := lowered.Validate(); err != nil {
+		t.Fatalf("pipeline produced an ill-formed program: %v\n%s", err, lowered)
+	}
+	if err := Verify(loweredPlan, c.M(), seed); err != nil {
+		t.Errorf("pipeline broke semantic equivalence (%d rewrites): %v\n%s", st.Changed, err, lowered)
+	}
+	optimizedCost := cost.Evaluate(c, lowered, plan.Ratios)
+	if optimizedCost > loweredCost*(1+1e-9) {
+		t.Errorf("pipeline increased modeled cost: %.9f → %.9f s\n%s", loweredCost, optimizedCost, lowered)
+	}
+	if lowered.NumComms() > loweredComms {
+		t.Errorf("pipeline increased collective count: %d → %d", loweredComms, lowered.NumComms())
+	}
+}
+
 func TestDifferentialRandomGraphs(t *testing.T) {
 	graphs := *fuzzGraphs
 	if testing.Short() {
@@ -128,6 +173,7 @@ func TestDifferentialRandomGraphs(t *testing.T) {
 					t.Errorf("synthesized program is not equivalent to the graph: %v\ngraph:\n%s\nprogram:\n%s",
 						err, g, plan.Program)
 				}
+				passesArm(t, plan, c, seed)
 			})
 		}
 	}

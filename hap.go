@@ -32,12 +32,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"hap/internal/autodiff"
 	"hap/internal/cluster"
 	"hap/internal/dist"
 	"hap/internal/graph"
 	"hap/internal/hapopt"
+	"hap/internal/passes"
 	"hap/internal/runtime"
 	"hap/internal/sim"
 	"hap/internal/synth"
@@ -59,6 +61,9 @@ type (
 	MachineSpec = cluster.MachineSpec
 	// Program is a synthesized SPMD program.
 	Program = dist.Program
+	// PassStats reports what the post-synthesis optimization pipeline did
+	// to a plan's program (see internal/passes).
+	PassStats = passes.Stats
 )
 
 // Common operator kinds (see internal/graph for the full set).
@@ -106,6 +111,16 @@ type Options struct {
 	// ExactSearch forces exact A* (default: automatic — exact for small
 	// graphs, beam search for model-scale ones).
 	ExactSearch bool
+	// DisablePasses skips the post-synthesis optimization pipeline
+	// (collective fusion, collective CSE, DCE); the pipeline runs by
+	// default on every synthesized program.
+	DisablePasses bool
+	// TimeBudget bounds the whole optimization's wall-clock time
+	// (0 = unlimited): every program search runs under the budget's
+	// remainder, and an expired budget returns the best plan found so far —
+	// or an error when none completed. The synthesizer's expansion limits
+	// bound memory, not time.
+	TimeBudget time.Duration
 }
 
 // Plan is the result of Parallelize: what every worker runs.
@@ -118,6 +133,10 @@ type Plan struct {
 	Cost float64
 	// SynthesisTime is the time program synthesis took.
 	SynthesisTime float64
+	// Passes reports the post-synthesis pass pipeline's rewrites (zero when
+	// Options.DisablePasses is set). In-memory only: not serialized by
+	// WriteProgram.
+	Passes PassStats
 }
 
 // Parallelize runs the full HAP pipeline: iterative program synthesis and
@@ -127,6 +146,8 @@ func Parallelize(g *Graph, c *Cluster, opt Options) (*Plan, error) {
 		MaxIterations: opt.MaxIterations,
 		Segments:      opt.Segments,
 		Synth:         synth.Auto(),
+		DisablePasses: opt.DisablePasses,
+		TimeBudget:    opt.TimeBudget,
 	}
 	if opt.ExactSearch {
 		o.Synth = synth.Options{}
@@ -143,6 +164,7 @@ func Parallelize(g *Graph, c *Cluster, opt Options) (*Plan, error) {
 		Ratios:        res.Ratios,
 		Cost:          res.Cost,
 		SynthesisTime: res.Elapsed.Seconds(),
+		Passes:        res.Passes,
 	}, nil
 }
 

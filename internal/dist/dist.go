@@ -105,6 +105,17 @@ type Program struct {
 	Instrs []Instruction
 }
 
+// Clone returns a copy of the program whose instruction list (and each
+// instruction's input list) is independent of the original. The graph is
+// shared: optimization passes rewrite instructions, never the graph.
+func (p *Program) Clone() *Program {
+	np := &Program{Graph: p.Graph, Instrs: append([]Instruction(nil), p.Instrs...)}
+	for i := range np.Instrs {
+		np.Instrs[i].Inputs = append([]graph.NodeID(nil), np.Instrs[i].Inputs...)
+	}
+	return np
+}
+
 // NumComms returns the number of communication instructions.
 func (p *Program) NumComms() int {
 	n := 0

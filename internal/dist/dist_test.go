@@ -229,3 +229,23 @@ func TestPruneKeepsProgramsWithoutOutputs(t *testing.T) {
 		t.Errorf("Prune removed %d instructions from an output-less program", removed)
 	}
 }
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := trainingGraph(t)
+	p := dataParallel(t, g)
+	before := p.String()
+	cp := p.Clone()
+	if cp.Graph != p.Graph {
+		t.Error("Clone must share the graph")
+	}
+	if cp.String() != before {
+		t.Fatalf("Clone differs from original:\n%s\nvs\n%s", cp, p)
+	}
+	// Mutating the clone's instructions and input lists must not leak back.
+	cp.Instrs[len(cp.Instrs)-1] = Comm(7, collective.ReduceScatter, 0, 0)
+	cp.Instrs[2].Inputs[0] = 1
+	cp.Instrs = cp.Instrs[:3]
+	if p.String() != before {
+		t.Errorf("mutating the clone changed the original:\n%s", p)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"hap/internal/cost"
 	"hap/internal/dist"
 	"hap/internal/graph"
+	"hap/internal/passes"
 	"hap/internal/segment"
 	"hap/internal/synth"
 	"hap/internal/theory"
@@ -36,6 +37,16 @@ type Options struct {
 	SkipBalance bool
 	// InitialRatios overrides B⁽⁰⁾ (default: proportional to device flops).
 	InitialRatios []float64
+	// DisablePasses skips the post-synthesis optimization pipeline
+	// (collective fusion, collective CSE, DCE); on by default.
+	DisablePasses bool
+	// Pipeline overrides the pass pipeline (nil = passes.Default()).
+	Pipeline *passes.Pipeline
+	// TimeBudget bounds the whole optimization loop's wall-clock time:
+	// each program search gets the budget's remainder as its own limit, and
+	// an expired budget ends the loop with the best plan found so far (or an
+	// error when none exists yet). Zero means unlimited.
+	TimeBudget time.Duration
 }
 
 // Result is the optimized plan.
@@ -50,6 +61,9 @@ type Result struct {
 	// cost modeling (the synthesizer's fused-leaf optimization can leave
 	// displaced leaf loaders behind; see dist.Prune).
 	Pruned int
+	// Passes reports the post-synthesis pass pipeline's rewrite stats for
+	// the returned program (zero when Options.DisablePasses is set).
+	Passes passes.Stats
 }
 
 // Optimize runs the full HAP pipeline on a training graph and cluster.
@@ -88,15 +102,41 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 		}))
 	}
 
+	var deadline time.Time
+	if opt.TimeBudget > 0 {
+		deadline = start.Add(opt.TimeBudget)
+	}
 	var best *Result
 	seen := map[string]bool{}
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		// The whole loop shares one wall-clock budget: each search runs
+		// under the remainder, and an expired budget ends the loop with the
+		// best plan so far instead of holding the caller longer.
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				if best != nil {
+					break
+				}
+				return nil, fmt.Errorf("hapopt: exceeded %v time budget before any plan completed", opt.TimeBudget)
+			}
+			if opt.Synth.TimeBudget <= 0 || rem < opt.Synth.TimeBudget {
+				opt.Synth.TimeBudget = rem
+			}
+		}
 		var p *dist.Program
 		var stats synth.Stats
 		for _, t := range portfolio {
 			cp, cs, err := synth.Synthesize(g, t, c, b, opt.Synth)
 			if err != nil {
 				if t == th {
+					// The budget expiring mid-iteration with a plan already
+					// in hand is the graceful-degradation path; any other
+					// base-theory failure propagates as before.
+					if best != nil && !deadline.IsZero() && time.Now().After(deadline) {
+						p = nil
+						break
+					}
 					return nil, fmt.Errorf("hapopt: iteration %d: %w", iter, err)
 				}
 				continue
@@ -105,7 +145,14 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 				p, stats = cp, cs
 			}
 		}
-		model, pruned := pruneAndModel(c, p)
+		if p == nil {
+			break // budget expired mid-iteration; serve what we have
+		}
+		pruned, pstats, err := optimizeProgram(c, p, opt)
+		if err != nil {
+			return nil, fmt.Errorf("hapopt: iteration %d: %w", iter, err)
+		}
+		model := cost.Extract(c, p)
 		if !opt.SkipBalance {
 			nb, err := balance.RatiosFromModel(model)
 			if err != nil {
@@ -115,7 +162,7 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 		}
 		t := model.Eval(b)
 		if best == nil || t < best.Cost {
-			best = &Result{Program: p, Ratios: cloneRatios(b), Cost: t, Iters: iter, Synth: stats, Pruned: pruned}
+			best = &Result{Program: p, Ratios: cloneRatios(b), Cost: t, Iters: iter, Synth: stats, Pruned: pruned, Passes: pstats}
 		}
 		// Convergence / oscillation detection on the (program, ratios) pair.
 		key := p.String() + ratiosKey(b)
@@ -128,13 +175,30 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 	return best, nil
 }
 
-// pruneAndModel eliminates dead code from a synthesized program and then
-// extracts its cost model. Dead instructions must never reach cost modeling
-// or the balancer: a leaf loader (or a collective on it) that the fused-leaf
-// optimization displaced would otherwise inflate t(Q,B) and skew B.
-func pruneAndModel(c *cluster.Cluster, p *dist.Program) (*cost.Model, int) {
-	pruned := p.Prune()
-	return cost.Extract(c, p), pruned
+// optimizeProgram cleans and optimizes a freshly synthesized program before
+// cost extraction, so the balancer's B and the reported t(Q,B) both see the
+// final form. Dead instructions must never reach cost modeling or the
+// balancer: a leaf loader (or a collective on it) that the fused-leaf
+// optimization displaced would otherwise inflate t(Q,B) and skew B. The
+// pipeline's DCE pass covers that; a standalone Prune runs only when the
+// pipeline is disabled or carries no DCE, and its count is folded into the
+// returned pruned total either way.
+func optimizeProgram(c *cluster.Cluster, p *dist.Program, opt Options) (pruned int, pstats passes.Stats, err error) {
+	var pl *passes.Pipeline
+	if !opt.DisablePasses {
+		if pl = opt.Pipeline; pl == nil {
+			pl = passes.Default()
+		}
+	}
+	dce := (passes.DCE{}).Name()
+	if pl == nil || !pl.HasPass(dce) {
+		pruned = p.Prune()
+	}
+	if pl != nil {
+		pstats, err = pl.Run(p, c)
+		pruned += pstats.ChangedBy(dce)
+	}
+	return pruned, pstats, err
 }
 
 func hasExperts(g *graph.Graph) bool {

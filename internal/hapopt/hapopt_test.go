@@ -2,6 +2,7 @@ package hapopt
 
 import (
 	"testing"
+	"time"
 
 	"hap/internal/cluster"
 	"hap/internal/collective"
@@ -162,9 +163,9 @@ func TestDeadCodePrunedBeforeCostModeling(t *testing.T) {
 		}
 	}
 
-	// Inject the dead instructions and re-run the prune+cost step Optimize
-	// uses. The dirty program is structurally legal — only liveness analysis
-	// can reject it.
+	// Inject the dead instructions and re-run the prune-then-extract sequence
+	// Optimize uses. The dirty program is structurally legal — only liveness
+	// analysis can reject it.
 	dirty := &dist.Program{Graph: g, Instrs: append(append([]dist.Instruction{}, res.Program.Instrs...),
 		dist.Instruction{Ref: d, Op: graph.Placeholder, ShardDim: 0},
 		dist.Instruction{Ref: r, Op: graph.ReLU, Inputs: []graph.NodeID{d}, ShardDim: -1, FlopsScaled: true},
@@ -176,9 +177,10 @@ func TestDeadCodePrunedBeforeCostModeling(t *testing.T) {
 	b := cost.UniformRatios(g.NumSegments(), c.ProportionalRatios())
 	dirtyCost := cost.Extract(c, dirty).Eval(b)
 
-	model, pruned := pruneAndModel(c, dirty)
+	pruned := dirty.Prune()
+	model := cost.Extract(c, dirty)
 	if pruned != 3 {
-		t.Errorf("pruneAndModel removed %d instructions, want 3", pruned)
+		t.Errorf("Prune removed %d instructions, want 3", pruned)
 	}
 	if len(dirty.Instrs) != len(res.Program.Instrs) {
 		t.Errorf("pruned program has %d instructions, want %d", len(dirty.Instrs), len(res.Program.Instrs))
@@ -205,5 +207,23 @@ func TestOptimizeHeterogeneousBeatsEvenDP(t *testing.T) {
 	ev := cost.Evaluate(c, res.Program, cost.UniformRatios(len(res.Ratios), c.EvenRatios()))
 	if res.Cost > ev+1e-12 {
 		t.Errorf("HAP ratios (%v) worse than even ratios (%v) on its own program", res.Cost, ev)
+	}
+}
+
+// TestTimeBudgetBoundsTheWholeLoop pins the loop-level budget semantics: an
+// already-expired budget fails before any plan exists, and a generous one
+// changes nothing about the result.
+func TestTimeBudgetBoundsTheWholeLoop(t *testing.T) {
+	g := models.Training(models.MLP(24, 8, 12, 6))
+	c := hetero2()
+	if _, err := Optimize(g, c, Options{TimeBudget: time.Nanosecond}); err == nil {
+		t.Fatal("Optimize succeeded under a 1ns budget; want a time-budget error")
+	}
+	res, err := Optimize(g, c, Options{TimeBudget: time.Minute})
+	if err != nil {
+		t.Fatalf("Optimize under a generous budget: %v", err)
+	}
+	if res.Program == nil || res.Cost <= 0 {
+		t.Fatalf("degenerate result under a generous budget: %+v", res)
 	}
 }

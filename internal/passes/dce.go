@@ -1,0 +1,22 @@
+// Dead-code elimination as a pipeline pass.
+
+package passes
+
+import (
+	"hap/internal/cluster"
+	"hap/internal/dist"
+)
+
+// DCE wraps dist.Program.Prune as a pipeline pass: instructions whose
+// results cannot reach a required output (the loss or a parameter gradient)
+// are deleted, collectives on dead tensors with them. Running it last in the
+// default pipeline lets it sweep up anything the rewriting passes orphan.
+type DCE struct{}
+
+// Name implements Pass.
+func (DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (DCE) Run(p *dist.Program, c *cluster.Cluster) (int, error) {
+	return p.Prune(), nil
+}

@@ -1,0 +1,159 @@
+// Collective fusion: merge collective pairs on the same tensor into the
+// single collective they are semantically equal to, when the cost model
+// agrees the fused form is cheaper on this cluster.
+
+package passes
+
+import (
+	"hap/internal/cluster"
+	"hap/internal/collective"
+	"hap/internal/cost"
+	"hap/internal/dist"
+)
+
+// CommFusion merges collective pairs on the same tensor that are
+// semantically one collective. A pair fuses only when no instruction between
+// the two touches the tensor (so nothing observes the intermediate
+// distribution) and the analytic cost model says the fused collective is
+// cheaper on this cluster. Three patterns are recognized:
+//
+//	reduce-scatter(e, d) ; all-gather(e, d)   →  all-reduce(e)
+//	reduce-scatter(e, d) ; all-to-all(e, d, d')  →  reduce-scatter(e, d')
+//	all-to-all(e, d, d') ; all-gather(e, d')  →  all-gather(e, d)
+//
+// where all-gather is either implementation (padded or grouped-Broadcast;
+// the fused all-gather keeps the original's implementation). The first
+// pattern is the classic ring identity — an all-reduce is exactly a
+// reduce-scatter followed by an all-gather — and is how backends that lower
+// all-reduce into its phases (ZeRO-style sharded optimizers, per-edge
+// emitters) leave money on the table: the padded pair pays two kernel
+// launches and two padded rings where one un-padded all-reduce suffices.
+// The other two drop a resharding hop whose intermediate no one reads.
+//
+// Rewrites replace the first collective of the pair in place and delete the
+// second, so surrounding stage boundaries shift minimally. Chains
+// (reduce-scatter → all-to-all → all-gather) fuse in one Run: each rewrite
+// re-examines the instruction it produced.
+type CommFusion struct{}
+
+// Name implements Pass.
+func (CommFusion) Name() string { return "comm-fusion" }
+
+// Run implements Pass.
+func (CommFusion) Run(p *dist.Program, c *cluster.Cluster) (int, error) {
+	if p.Graph == nil {
+		return 0, nil
+	}
+	changed := 0
+	for i := 0; i < len(p.Instrs); i++ {
+		first := p.Instrs[i]
+		if !first.IsComm {
+			continue
+		}
+		j := nextTouch(p, i)
+		if j < 0 || !p.Instrs[j].IsComm {
+			continue // next touch reads the intermediate: the pair is load-bearing
+		}
+		second := p.Instrs[j]
+		var fused dist.Instruction
+		switch {
+		case first.Coll == collective.ReduceScatter && isGatherKind(second.Coll) && second.Dim == first.Dim:
+			fused = dist.Comm(first.Ref, collective.AllReduce, 0, 0)
+		case first.Coll == collective.ReduceScatter && second.Coll == collective.AllToAll && second.Dim == first.Dim:
+			fused = dist.Comm(first.Ref, collective.ReduceScatter, second.Dim2, 0)
+		case first.Coll == collective.AllToAll && isGatherKind(second.Coll) && second.Dim == first.Dim2:
+			fused = dist.Comm(first.Ref, second.Coll, first.Dim, 0)
+		default:
+			continue
+		}
+		if CommCost(c, p, fused) >= CommCost(c, p, first)+CommCost(c, p, second) {
+			continue // the pair is the cheaper form here (or m == 1): keep it
+		}
+		p.Instrs[i] = fused
+		p.Instrs = append(p.Instrs[:j], p.Instrs[j+1:]...)
+		changed++
+		i-- // re-examine the fused collective: chains fuse in one sweep
+	}
+	return changed, nil
+}
+
+// isGatherKind reports whether k materializes the full tensor from shards
+// (either all-gather implementation).
+func isGatherKind(k collective.Kind) bool {
+	return k == collective.PaddedAllGather || k == collective.GroupedBroadcast
+}
+
+// CommCost is the canonical stage cost of one communication instruction the
+// fusion decisions compare: the analytic collective time under even sharding
+// plus the worst-device intra-machine aggregation penalty the cost model
+// folds into the stage's computation (Sec. 6). Even sharding is the same
+// basis the fitted linear models profile on (collective.Fit); under skewed
+// ratios padded collectives only get more expensive relative to all-reduce,
+// so a fusion that wins here wins at least as much at the served ratios.
+func CommCost(c *cluster.Cluster, p *dist.Program, in dist.Instruction) float64 {
+	g := p.Graph
+	even := c.EvenRatios()
+	t := collective.Time(c, in.Coll, g.Bytes(in.Ref), even)
+	b := cost.UniformRatios(g.NumSegments(), even)
+	acc := make([]float64, c.M())
+	cost.AddIntraPenalty(c, g, in, b, acc)
+	worst := 0.0
+	for _, v := range acc {
+		if v > worst {
+			worst = v
+		}
+	}
+	return t + worst
+}
+
+// ExpandAllReduce is CommFusion's inverse lowering: every all-reduce whose
+// tensor has a dimension long enough to scatter across the cluster becomes
+// the explicit reduce-scatter + all-gather ring phases on that tensor's
+// longest dimension. This is how ZeRO-style backends and per-edge emitters
+// actually issue the collective; it is never cheaper under the analytic
+// model (the pair pays extra kernel launches and padded rings), so it is not
+// part of the default pipeline. It exists to model such producers — the
+// differential harness lowers every synthesized plan with it, verifies the
+// lowered program still computes the same function, and then checks
+// CommFusion earns the win back.
+type ExpandAllReduce struct{}
+
+// Name implements Pass.
+func (ExpandAllReduce) Name() string { return "expand-all-reduce" }
+
+// Run implements Pass.
+func (ExpandAllReduce) Run(p *dist.Program, c *cluster.Cluster) (int, error) {
+	if p.Graph == nil {
+		return 0, nil
+	}
+	g := p.Graph
+	changed := 0
+	out := make([]dist.Instruction, 0, len(p.Instrs))
+	for _, in := range p.Instrs {
+		if !in.IsComm || in.Coll != collective.AllReduce {
+			out = append(out, in)
+			continue
+		}
+		d := longestDim(g.Node(in.Ref).Shape)
+		if d < 0 || g.Node(in.Ref).Shape[d] < c.M() {
+			out = append(out, in) // nothing to scatter over: keep the all-reduce
+			continue
+		}
+		out = append(out,
+			dist.Comm(in.Ref, collective.ReduceScatter, d, 0),
+			dist.Comm(in.Ref, collective.PaddedAllGather, d, 0))
+		changed++
+	}
+	p.Instrs = out
+	return changed, nil
+}
+
+func longestDim(shape []int) int {
+	best, bestLen := -1, 0
+	for d, n := range shape {
+		if n > bestLen {
+			best, bestLen = d, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,50 @@
+package passes
+
+import (
+	"testing"
+
+	"hap/internal/collective"
+	"hap/internal/dist"
+	"hap/internal/runtime"
+)
+
+// Fusion rewrites must preserve the program's numeric semantics, not just
+// its structure: execute the before/after programs on real data across the
+// simulated devices and check both against the single-device reference.
+func TestFusionPreservesRuntimeSemantics(t *testing.T) {
+	cases := map[string][]dist.Instruction{
+		"rs-ag": {
+			comm(collective.ReduceScatter, 0, 0),
+			comm(collective.PaddedAllGather, 0, 0),
+		},
+		"rs-a2a-ag": {
+			comm(collective.ReduceScatter, 0, 0),
+			comm(collective.AllToAll, 0, 1),
+			comm(collective.PaddedAllGather, 1, 0),
+		},
+		"rs-a2a-gb": {
+			comm(collective.ReduceScatter, 1, 0),
+			comm(collective.AllToAll, 1, 0),
+			comm(collective.GroupedBroadcast, 0, 0),
+		},
+	}
+	for name, comms := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := reductionProgram(t, comms...)
+			b := [][]float64{{0.5, 0.5}}
+			if err := runtime.VerifyEquivalence(p, 2, b, 7); err != nil {
+				t.Fatalf("unfused program not equivalent (test bug): %v", err)
+			}
+			before := p.NumComms()
+			if _, err := (CommFusion{}).Run(p, testCluster()); err != nil {
+				t.Fatal(err)
+			}
+			if p.NumComms() >= before {
+				t.Fatalf("fusion did not reduce collectives (%d → %d)", before, p.NumComms())
+			}
+			if err := runtime.VerifyEquivalence(p, 2, b, 7); err != nil {
+				t.Errorf("fused program not equivalent: %v\n%s", err, p)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@
 //	POST /synthesize  {"graph": ..., "cluster": ..., "options": ...} → plan JSON
 //	GET  /healthz     liveness probe
 //	GET  /stats       cache and request counters, JSON
+//	GET  /metrics     the same counters in Prometheus text exposition format
 package serve
 
 import (
@@ -23,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +39,12 @@ const (
 	DefaultMaxCacheEntries = 1024
 	DefaultMaxCacheBytes   = 256 << 20 // plans are ~100 KB at model scale
 	DefaultMaxRequestBytes = 64 << 20
+	// DefaultSynthTimeBudget bounds one request's synthesis wall-clock time
+	// (the whole Q↔B loop, not just one search) so a single adversarial
+	// request cannot hold a serve worker for minutes — the synthesizer's
+	// expansion limits bound memory, not time. An expired budget serves the
+	// best plan the loop found, or fails the request when none completed.
+	DefaultSynthTimeBudget = 60 * time.Second
 )
 
 // Config tunes a Server.
@@ -46,6 +55,9 @@ type Config struct {
 	MaxCacheBytes int64
 	// MaxRequestBytes caps the accepted request body size (0 = default).
 	MaxRequestBytes int64
+	// SynthTimeBudget bounds each request's synthesis wall-clock time
+	// (0 = DefaultSynthTimeBudget; negative = unlimited).
+	SynthTimeBudget time.Duration
 	// Synthesize overrides the planner, for tests. Nil means hap.Parallelize.
 	Synthesize func(*graph.Graph, *cluster.Cluster, hap.Options) (*hap.Plan, error)
 }
@@ -63,6 +75,15 @@ type RequestOptions struct {
 	Segments      int  `json:"segments,omitempty"`
 	MaxIterations int  `json:"max_iterations,omitempty"`
 	ExactSearch   bool `json:"exact_search,omitempty"`
+	// Optimize toggles the post-synthesis pass pipeline (collective fusion,
+	// collective CSE, DCE). Omitted means true: served plans are optimized
+	// by default.
+	Optimize *bool `json:"optimize,omitempty"`
+}
+
+// optimize resolves the tri-state Optimize field (nil = on).
+func (o RequestOptions) optimize() bool {
+	return o.Optimize == nil || *o.Optimize
 }
 
 // Stats is the GET /stats payload.
@@ -77,6 +98,12 @@ type Stats struct {
 	CacheBytes     int64   `json:"cache_bytes"`     // bytes currently cached
 	CacheEvictions uint64  `json:"cache_evictions"` // plans evicted by the LRU caps
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// PassRuns counts syntheses that ran the post-synthesis pass pipeline;
+	// PassRewrites totals the rewrites those pipelines applied, broken down
+	// by pass in PassRewritesBy.
+	PassRuns       uint64            `json:"pass_runs"`
+	PassRewrites   uint64            `json:"pass_rewrites"`
+	PassRewritesBy map[string]uint64 `json:"pass_rewrites_by,omitempty"`
 }
 
 // Server is the plan-cache daemon. Create with New, mount via Handler.
@@ -92,6 +119,11 @@ type Server struct {
 	syntheses    atomic.Uint64
 	flightShared atomic.Uint64
 	errors       atomic.Uint64
+
+	passMu         sync.Mutex
+	passRuns       uint64
+	passRewrites   uint64
+	passRewritesBy map[string]uint64
 }
 
 // New returns a Server with zero Config values filled from the defaults.
@@ -105,15 +137,19 @@ func New(cfg Config) *Server {
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = DefaultMaxRequestBytes
 	}
+	if cfg.SynthTimeBudget == 0 {
+		cfg.SynthTimeBudget = DefaultSynthTimeBudget
+	}
 	if cfg.Synthesize == nil {
 		cfg.Synthesize = func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
 			return hap.Parallelize(g, c, opt)
 		}
 	}
 	return &Server{
-		cfg:   cfg,
-		cache: newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
-		start: time.Now(),
+		cfg:            cfg,
+		cache:          newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
+		start:          time.Now(),
+		passRewritesBy: map[string]uint64{},
 	}
 }
 
@@ -123,13 +159,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/synthesize", s.handleSynthesize)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	entries, bytes, evictions := s.cache.snapshot()
-	return Stats{
+	st := Stats{
 		Requests:       s.requests.Load(),
 		CacheHits:      s.hits.Load(),
 		CacheMisses:    s.misses.Load(),
@@ -141,15 +178,40 @@ func (s *Server) Stats() Stats {
 		CacheEvictions: evictions,
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 	}
+	s.passMu.Lock()
+	st.PassRuns = s.passRuns
+	st.PassRewrites = s.passRewrites
+	if len(s.passRewritesBy) > 0 {
+		st.PassRewritesBy = make(map[string]uint64, len(s.passRewritesBy))
+		for k, v := range s.passRewritesBy {
+			st.PassRewritesBy[k] = v
+		}
+	}
+	s.passMu.Unlock()
+	return st
+}
+
+// recordPassStats accumulates one synthesis's pass-pipeline counters.
+func (s *Server) recordPassStats(ps hap.PassStats) {
+	if ps.Rounds == 0 {
+		return // pipeline disabled (or a stubbed planner)
+	}
+	s.passMu.Lock()
+	s.passRuns++
+	s.passRewrites += uint64(ps.Changed)
+	for _, p := range ps.PerPass {
+		s.passRewritesBy[p.Pass] += uint64(p.Changed)
+	}
+	s.passMu.Unlock()
 }
 
 // cacheKey is the content address of a plan: what the graph computes, what
 // the cluster can do, and how the planner was asked to run. Names and other
 // labels do not participate (see graph.Fingerprint, Cluster.Fingerprint).
 func cacheKey(g *graph.Graph, c *cluster.Cluster, opt RequestOptions) string {
-	return fmt.Sprintf("%s:%s:s%d:i%d:x%t",
+	return fmt.Sprintf("%s:%s:s%d:i%d:x%t:o%t",
 		graph.Fingerprint(g), c.Fingerprint(),
-		opt.Segments, opt.MaxIterations, opt.ExactSearch)
+		opt.Segments, opt.MaxIterations, opt.ExactSearch, opt.optimize())
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
@@ -204,14 +266,21 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			return v, nil
 		}
 		s.syntheses.Add(1)
+		budget := s.cfg.SynthTimeBudget
+		if budget < 0 {
+			budget = 0 // negative config = unlimited
+		}
 		p, err := s.cfg.Synthesize(g, c, hap.Options{
 			Segments:      req.Options.Segments,
 			MaxIterations: req.Options.MaxIterations,
 			ExactSearch:   req.Options.ExactSearch,
+			DisablePasses: !req.Options.optimize(),
+			TimeBudget:    budget,
 		})
 		if err != nil {
 			return nil, err
 		}
+		s.recordPassStats(p.Passes)
 		var buf bytes.Buffer
 		if err := p.WriteProgram(&buf); err != nil {
 			return nil, err
@@ -247,4 +316,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Stats())
+}
+
+// handleMetrics exposes the server counters in the Prometheus text
+// exposition format (version 0.0.4), so a scrape target needs no sidecar.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("hap_serve_requests_total", "POST /synthesize requests.", st.Requests)
+	counter("hap_serve_cache_hits_total", "Requests served straight from the plan cache.", st.CacheHits)
+	counter("hap_serve_cache_misses_total", "Requests that required (or joined) a synthesis.", st.CacheMisses)
+	counter("hap_serve_syntheses_total", "Plans actually synthesized.", st.Syntheses)
+	counter("hap_serve_flight_shared_total", "Cache misses that joined an in-flight synthesis.", st.FlightShared)
+	counter("hap_serve_errors_total", "Requests answered with an error status.", st.Errors)
+	counter("hap_serve_cache_evictions_total", "Plans evicted by the LRU caps.", st.CacheEvictions)
+	gauge("hap_serve_cache_entries", "Plans currently cached.", float64(st.CacheEntries))
+	gauge("hap_serve_cache_bytes", "Bytes of plans currently cached.", float64(st.CacheBytes))
+	gauge("hap_serve_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
+	counter("hap_serve_pass_runs_total", "Syntheses that ran the post-synthesis pass pipeline.", st.PassRuns)
+	counter("hap_serve_pass_rewrites_total", "Program rewrites applied by the pass pipeline.", st.PassRewrites)
+	// Per-pass breakdown, emitted in sorted order for a stable exposition.
+	fmt.Fprintf(&b, "# HELP hap_serve_pass_rewrites_by_total Program rewrites applied, by pass.\n# TYPE hap_serve_pass_rewrites_by_total counter\n")
+	names := make([]string, 0, len(st.PassRewritesBy))
+	for name := range st.PassRewritesBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "hap_serve_pass_rewrites_by_total{pass=%q} %d\n", name, st.PassRewritesBy[name])
+	}
+	w.Write(b.Bytes())
 }

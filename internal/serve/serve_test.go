@@ -322,3 +322,101 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz = %d %q", resp.StatusCode, b)
 	}
 }
+
+// boolPtr helps build tri-state RequestOptions.
+func boolPtr(b bool) *bool { return &b }
+
+// TestOptimizeOptionPlumbing checks the optimize request option: omitted
+// means the pass pipeline runs (DisablePasses false) with the default synth
+// time budget, optimize=false disables it, and the two variants are
+// distinct cache entries.
+func TestOptimizeOptionPlumbing(t *testing.T) {
+	var mu sync.Mutex
+	var opts []hap.Options
+	s := New(Config{
+		Synthesize: func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			mu.Lock()
+			opts = append(opts, opt)
+			mu.Unlock()
+			return hap.Parallelize(g, c, opt)
+		},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	g, c := testGraph(t), testCluster()
+
+	if status, _, b := post(t, srv.URL, requestBody(t, g, c, RequestOptions{})); status != http.StatusOK {
+		t.Fatalf("default request: status %d: %s", status, b)
+	}
+	if status, hdr, b := post(t, srv.URL, requestBody(t, g, c, RequestOptions{Optimize: boolPtr(false)})); status != http.StatusOK || hdr != "miss" {
+		t.Fatalf("optimize=false request: status %d cache %q: %s", status, hdr, b)
+	}
+	// optimize=true is the same content address as the default.
+	if status, hdr, _ := post(t, srv.URL, requestBody(t, g, c, RequestOptions{Optimize: boolPtr(true)})); status != http.StatusOK || hdr != "hit" {
+		t.Fatalf("optimize=true request: status %d cache %q, want 200/hit", status, hdr)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(opts) != 2 {
+		t.Fatalf("%d syntheses, want 2 (default + optimize=false)", len(opts))
+	}
+	if opts[0].DisablePasses {
+		t.Error("default request disabled the pass pipeline")
+	}
+	if !opts[1].DisablePasses {
+		t.Error("optimize=false request did not disable the pass pipeline")
+	}
+	for i, o := range opts {
+		if o.TimeBudget != DefaultSynthTimeBudget {
+			t.Errorf("synthesis %d ran with time budget %v, want default %v", i, o.TimeBudget, DefaultSynthTimeBudget)
+		}
+	}
+
+	st := s.Stats()
+	if st.PassRuns != 1 {
+		t.Errorf("stats report %d pass-pipeline runs, want 1 (only the optimized synthesis)", st.PassRuns)
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus text exposition carries the
+// same counters /stats reports.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	body := requestBody(t, testGraph(t), testCluster(), RequestOptions{})
+	for i := 0; i < 2; i++ {
+		if status, _, b := post(t, srv.URL, body); status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, b)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(b)
+	for _, want := range []string{
+		"# TYPE hap_serve_requests_total counter",
+		"hap_serve_requests_total 2",
+		"hap_serve_cache_hits_total 1",
+		"hap_serve_syntheses_total 1",
+		"# TYPE hap_serve_cache_entries gauge",
+		"hap_serve_cache_entries 1",
+		"hap_serve_pass_runs_total 1",
+		`hap_serve_pass_rewrites_by_total{pass="comm-fusion"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, metrics)
+		}
+	}
+}

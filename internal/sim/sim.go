@@ -29,7 +29,8 @@ type Options struct {
 	// BarrierOverhead is charged per synchronization stage (default 25µs).
 	BarrierOverhead float64
 	// NoiseSigma is the relative σ of the per-collective efficiency noise
-	// (default 0.03). Zero disables noise.
+	// (default 0.03). Negative disables noise entirely — the deterministic
+	// mode program-rewrite tests compare simulated times in.
 	NoiseSigma float64
 	// Seed makes runs reproducible.
 	Seed int64

@@ -46,6 +46,11 @@ type Options struct {
 	BeamWidth int
 	// MaxExpansions aborts runaway searches (0 = 4,000,000).
 	MaxExpansions int
+	// TimeBudget aborts searches whose wall-clock time exceeds it (0 = no
+	// limit). MaxExpansions bounds memory, not time: an adversarial graph
+	// can spend minutes inside its expansion budget. Serving stacks set
+	// this so one request cannot hold a worker indefinitely.
+	TimeBudget time.Duration
 	// DisableGroupedBroadcast removes the grouped-Broadcast All-Gather
 	// implementation (ablation "C", Sec. 7.4).
 	DisableGroupedBroadcast bool
@@ -225,6 +230,9 @@ type Synthesizer struct {
 	b     [][]float64
 	opt   Options
 	words int
+	// deadline is the wall-clock cutoff derived from Options.TimeBudget
+	// (zero = unlimited), set at the start of Run.
+	deadline time.Time
 	// totalFlopsPerSec is the admissible-heuristic denominator.
 	totalFlopsPerSec float64
 	outputs          []theory.Output
@@ -271,6 +279,9 @@ func Synthesize(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]flo
 // level-synchronized beam search otherwise.
 func (sy *Synthesizer) Run() (*dist.Program, Stats, error) {
 	start := time.Now()
+	if sy.opt.TimeBudget > 0 {
+		sy.deadline = start.Add(sy.opt.TimeBudget)
+	}
 	g := sy.g
 	root := &state{
 		computed:     make([]uint64, sy.words),
@@ -329,6 +340,9 @@ func (sy *Synthesizer) runAStar(root *state) (*state, Stats, error) {
 		if stats.Expansions > sy.opt.MaxExpansions {
 			return nil, stats, fmt.Errorf("synth: exceeded %d expansions", sy.opt.MaxExpansions)
 		}
+		if err := sy.overBudget(stats.Expansions); err != nil {
+			return nil, stats, err
+		}
 		for _, next := range sy.expand(s) {
 			k := next.key()
 			ec := next.effCost()
@@ -375,6 +389,9 @@ func (sy *Synthesizer) runBeam(root *state) (*state, Stats, error) {
 		cands = cands[:0]
 		for _, s := range level {
 			stats.Expansions++
+			if err := sy.overBudget(stats.Expansions); err != nil {
+				return nil, stats, err
+			}
 			// Computation: strict global topological order — only the lowest
 			// uncomputed required node (see expandFrom).
 			for i := 0; i < sy.g.NumNodes(); i++ {
@@ -447,6 +464,17 @@ func (sy *Synthesizer) runBeam(root *state) (*state, Stats, error) {
 		return nil, stats, fmt.Errorf("synth: beam search found no complete program")
 	}
 	return best, stats, nil
+}
+
+// overBudget reports a wall-clock budget violation. Checked once per
+// expansion — the search's unit of real work, whose allocation cost dwarfs
+// the clock read — so a search never overshoots its budget by more than one
+// expansion.
+func (sy *Synthesizer) overBudget(expansions int) error {
+	if sy.deadline.IsZero() || !time.Now().After(sy.deadline) {
+		return nil
+	}
+	return fmt.Errorf("synth: exceeded %v time budget after %d expansions", sy.opt.TimeBudget, expansions)
 }
 
 // score is cost(Q) + ecost(Q): the A* priority. ecost is the remaining flops

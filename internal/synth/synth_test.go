@@ -3,6 +3,7 @@ package synth
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"hap/internal/autodiff"
 	"hap/internal/cluster"
@@ -295,5 +296,30 @@ func TestProgramStringRendersPaperNotation(t *testing.T) {
 	in := dist.Comm(3, collective.PaddedAllGather, 1, 0)
 	if got := in.String(); got != "all-gather(e3, 1)" {
 		t.Errorf("comm rendering = %q", got)
+	}
+}
+
+func TestTimeBudgetAbortsSearch(t *testing.T) {
+	g := fig11Graph()
+	c := twoDevices()
+	th := theory.New(g)
+	for name, opt := range map[string]Options{
+		"exact": {TimeBudget: time.Nanosecond},
+		"beam":  {TimeBudget: time.Nanosecond, BeamWidth: 4},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := Synthesize(g, th, c, ratios(c), opt)
+			if err == nil || !strings.Contains(err.Error(), "time budget") {
+				t.Fatalf("err = %v, want a time-budget violation", err)
+			}
+		})
+	}
+	// A generous budget must not change the result.
+	p, _, err := Synthesize(g, th, c, ratios(c), Options{TimeBudget: time.Minute})
+	if err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+	if len(p.Instrs) == 0 {
+		t.Fatal("generous budget produced an empty program")
 	}
 }
