@@ -33,13 +33,15 @@ func main() {
 	bytes := flag.Int64("cache-bytes", serve.DefaultMaxCacheBytes, "max total bytes of cached plans")
 	budget := flag.Duration("synth-budget", serve.DefaultSynthTimeBudget,
 		"wall-clock budget per request's synthesis, covering the whole optimization loop (0 = unlimited)")
+	workers := flag.Int("synth-workers", 0,
+		"beam-search worker goroutines per synthesis (0 = GOMAXPROCS); plans are byte-identical for any value")
 	flag.Parse()
 
 	synthBudget := *budget
 	if synthBudget == 0 {
 		synthBudget = -1 // Config treats 0 as "use default"; negative = unlimited
 	}
-	s := serve.New(serve.Config{MaxCacheEntries: *entries, MaxCacheBytes: *bytes, SynthTimeBudget: synthBudget})
+	s := serve.New(serve.Config{MaxCacheEntries: *entries, MaxCacheBytes: *bytes, SynthTimeBudget: synthBudget, SynthWorkers: *workers})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

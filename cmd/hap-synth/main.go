@@ -28,6 +28,7 @@ func main() {
 	clusterName := flag.String("cluster", "hetero", "cluster: hetero (2×V100+6×P100 machines), homo (4×P100), a100p100")
 	segments := flag.Int("segments", 1, "model segments for per-segment sharding ratios")
 	passes := flag.Bool("passes", true, "run the post-synthesis optimization pipeline (comm fusion, CSE, DCE)")
+	workers := flag.Int("workers", 0, "beam-search worker goroutines (0 = GOMAXPROCS); the plan is byte-identical for any value")
 	trace := flag.String("trace", "", "write a Chrome trace of one simulated iteration to this file")
 	out := flag.String("out", "", "export the plan (program + ratios) as JSON to this file and verify the round-trip")
 	flag.Parse()
@@ -49,7 +50,7 @@ func main() {
 	fmt.Printf("model %s: %d nodes, %.1fM parameters, %.2f GFLOPs/iteration\n",
 		*model, g.NumNodes(), float64(g.ParameterCount())/1e6, g.TotalFlops()/1e9)
 
-	plan, err := hap.Parallelize(g, c, hap.Options{Segments: *segments, DisablePasses: !*passes})
+	plan, err := hap.Parallelize(g, c, hap.Options{Segments: *segments, DisablePasses: !*passes, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -121,6 +121,12 @@ type Options struct {
 	// or an error when none completed. The synthesizer's expansion limits
 	// bound memory, not time.
 	TimeBudget time.Duration
+	// Workers bounds the beam synthesizer's per-level parallelism
+	// (0 = GOMAXPROCS, 1 = serial). Any worker count yields a byte-identical
+	// plan: the parallel beam merges candidates in a deterministic order, so
+	// this knob trades only latency, never plan content — it is deliberately
+	// not part of hap-serve's cache key.
+	Workers int
 }
 
 // Plan is the result of Parallelize: what every worker runs.
@@ -152,6 +158,7 @@ func Parallelize(g *Graph, c *Cluster, opt Options) (*Plan, error) {
 	if opt.ExactSearch {
 		o.Synth = synth.Options{}
 	}
+	o.Synth.Workers = opt.Workers
 	res, err := hapopt.Optimize(g, c, o)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,51 @@
+// Model-scale binary-encoding checks live in an external test package: they
+// synthesize a real VGG19 plan through internal/synth, which imports dist.
+package dist_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/dist"
+	"hap/internal/models"
+	"hap/internal/synth"
+	"hap/internal/theory"
+)
+
+// A real model-scale program must round-trip through the binary form and
+// come out an order of magnitude smaller than the JSON form — the reason
+// the format exists (ROADMAP ISSUE 1 follow-up).
+func TestBinaryModelScaleRoundTripAndSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes a VGG19 plan")
+	}
+	c := cluster.PaperHeterogeneous(1)
+	g := models.Build(models.ModelVGG19, c.TotalGPUs())
+	b := cost.UniformRatios(g.NumSegments(), c.ProportionalRatios())
+	p, _, err := synth.Synthesize(g, theory.New(g), c, b, synth.Options{BeamWidth: 48})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+
+	var jb, bb bytes.Buffer
+	if err := p.Encode(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EncodeBinary(&bb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dist.DecodeBinary(bytes.NewReader(bb.Bytes()), g)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if back.String() != p.String() {
+		t.Error("model-scale round trip changed the program")
+	}
+	t.Logf("VGG19 program: %d instrs, JSON %d bytes, binary %d bytes (%.1fx smaller)",
+		len(p.Instrs), jb.Len(), bb.Len(), float64(jb.Len())/float64(bb.Len()))
+	if bb.Len()*10 > jb.Len() {
+		t.Errorf("binary form is %d bytes, JSON %d — expected at least 10x smaller at model scale", bb.Len(), jb.Len())
+	}
+}

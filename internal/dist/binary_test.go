@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hap/internal/collective"
+	"hap/internal/graph"
+)
+
+// binaryTestProgram builds a small but representative program: leaf loaders
+// (replicated and sharded), scaled and replicated computations, and three
+// collective kinds with dims.
+func binaryTestProgram(t *testing.T) *Program {
+	t.Helper()
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 8, 4)
+	w := g.AddParameter("w", 4, 4)
+	y := g.AddOp(graph.MatMul, x, w)
+	s := g.AddOp(graph.ReLU, y)
+	g.SetLoss(g.AddOp(graph.Sum, s))
+	p := &Program{Graph: g}
+	p.Instrs = append(p.Instrs,
+		Instruction{Ref: x, Op: graph.Placeholder, ShardDim: 0},
+		Instruction{Ref: w, Op: graph.Parameter, ShardDim: -1},
+		Instruction{Ref: y, Op: graph.MatMul, Inputs: []graph.NodeID{x, w}, ShardDim: -1, FlopsScaled: true},
+		Comm(y, collective.PaddedAllGather, 0, 0),
+		Instruction{Ref: s, Op: graph.ReLU, Inputs: []graph.NodeID{y}, ShardDim: -1},
+		Comm(s, collective.AllToAll, 0, 1),
+		Instruction{Ref: g.Loss, Op: graph.Sum, Inputs: []graph.NodeID{s}, ShardDim: -1, FlopsScaled: true},
+		Comm(g.Loss, collective.AllReduce, 0, 0),
+	)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("test program invalid: %v", err)
+	}
+	return p
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	p := binaryTestProgram(t)
+	var buf bytes.Buffer
+	if err := p.EncodeBinary(&buf); err != nil {
+		t.Fatalf("EncodeBinary: %v", err)
+	}
+	back, err := DecodeBinary(bytes.NewReader(buf.Bytes()), p.Graph)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if back.String() != p.String() {
+		t.Errorf("round trip changed the program:\n%s\nvs\n%s", back, p)
+	}
+	if len(back.Instrs) != len(p.Instrs) {
+		t.Fatalf("round trip: %d instrs, want %d", len(back.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		a, b := p.Instrs[i], back.Instrs[i]
+		if a.Ref != b.Ref || a.IsComm != b.IsComm || a.Op != b.Op || a.Coll != b.Coll ||
+			a.ShardDim != b.ShardDim || a.FlopsScaled != b.FlopsScaled || a.Dim != b.Dim || a.Dim2 != b.Dim2 {
+			t.Errorf("instr %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// The binary and JSON forms must decode to the same program — the binary
+// format is a transport optimization, not a semantic fork.
+func TestBinaryAgreesWithJSON(t *testing.T) {
+	p := binaryTestProgram(t)
+	var jb, bb bytes.Buffer
+	if err := p.Encode(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EncodeBinary(&bb); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Decode(bytes.NewReader(jb.Bytes()), p.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeBinary(bytes.NewReader(bb.Bytes()), p.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.String() != fromBin.String() {
+		t.Errorf("JSON and binary decode differently:\n%s\nvs\n%s", fromJSON, fromBin)
+	}
+	// The point of the format: model-scale plans shrink by an order of
+	// magnitude. Even this toy program must be several times smaller.
+	if bb.Len()*4 > jb.Len() {
+		t.Errorf("binary form is %d bytes, JSON %d — expected at least 4x smaller", bb.Len(), jb.Len())
+	}
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	p := binaryTestProgram(t)
+	var buf bytes.Buffer
+	if err := p.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOPE"), raw[4:]...),
+		"bad version": append(append([]byte{}, raw[:4]...), append([]byte{99}, raw[5:]...)...),
+		"truncated":   raw[:len(raw)/2],
+	}
+	for name, in := range cases {
+		if _, err := DecodeBinary(bytes.NewReader(in), p.Graph); err == nil {
+			t.Errorf("%s: decode succeeded on corrupt input", name)
+		}
+	}
+
+	// Binding to a structurally different graph must fail on the fingerprint.
+	g2 := graph.New()
+	x := g2.AddPlaceholder("x", 0, 8, 4)
+	w := g2.AddParameter("w", 4, 4)
+	y := g2.AddOp(graph.MatMul, x, w)
+	s := g2.AddOp(graph.ReLU, y)
+	g2.SetLoss(g2.AddOp(graph.Sum, g2.AddScale(s, 0.5))) // extra node
+	if _, err := DecodeBinary(bytes.NewReader(raw), g2); err == nil ||
+		!strings.Contains(err.Error(), "node") && !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("decode against a different graph: err = %v, want a binding failure", err)
+	}
+}

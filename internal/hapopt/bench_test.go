@@ -1,0 +1,26 @@
+package hapopt
+
+import (
+	"testing"
+
+	"hap/internal/cluster"
+	"hap/internal/models"
+	"hap/internal/synth"
+)
+
+// BenchmarkOptimizeLoop measures the full Q↔B alternation on the paper's
+// BERT-MoE workload — the portfolio case, where the base and the
+// expert-restricted theories search concurrently. This is the end-to-end
+// number hap-serve pays per cache miss.
+func BenchmarkOptimizeLoop(b *testing.B) {
+	c := cluster.PaperHeterogeneous(1)
+	g := models.Build(models.ModelBERTMoE, c.TotalGPUs())
+	opt := Options{MaxIterations: 2, Synth: synth.Options{BeamWidth: 48}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(g, c, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,8 @@ package hapopt
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"sync"
 	"time"
 
 	"hap/internal/balance"
@@ -124,12 +126,31 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 				opt.Synth.TimeBudget = rem
 			}
 		}
+		// The portfolio theories search concurrently under the shared
+		// TimeBudget (each search is internally parallel too; see
+		// synth.Options.Workers). Selection walks the results in portfolio
+		// order with the same tie-breaking as a sequential loop — the base
+		// theory wins cost ties — so the outcome is order-deterministic.
+		outs := make([]portfolioResult, len(portfolio))
+		if len(portfolio) == 1 {
+			outs[0].p, outs[0].stats, outs[0].err = synth.Synthesize(g, portfolio[0], c, b, opt.Synth)
+		} else {
+			var wg sync.WaitGroup
+			for i := range portfolio {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					outs[i].p, outs[i].stats, outs[i].err = synth.Synthesize(g, portfolio[i], c, b, opt.Synth)
+				}(i)
+			}
+			wg.Wait()
+		}
 		var p *dist.Program
 		var stats synth.Stats
-		for _, t := range portfolio {
-			cp, cs, err := synth.Synthesize(g, t, c, b, opt.Synth)
+		for i := range outs {
+			cp, cs, err := outs[i].p, outs[i].stats, outs[i].err
 			if err != nil {
-				if t == th {
+				if i == 0 {
 					// The budget expiring mid-iteration with a plan already
 					// in hand is the graceful-degradation path; any other
 					// base-theory failure propagates as before.
@@ -201,6 +222,13 @@ func optimizeProgram(c *cluster.Cluster, p *dist.Program, opt Options) (pruned i
 	return pruned, pstats, err
 }
 
+// portfolioResult is one theory's concurrent synthesis outcome.
+type portfolioResult struct {
+	p     *dist.Program
+	stats synth.Stats
+	err   error
+}
+
 func hasExperts(g *graph.Graph) bool {
 	for i := range g.Nodes {
 		if g.Nodes[i].Kind == graph.ExpertMM {
@@ -219,12 +247,13 @@ func cloneRatios(b [][]float64) [][]float64 {
 }
 
 func ratiosKey(b [][]float64) string {
-	s := ""
+	buf := make([]byte, 0, 128)
 	for _, row := range b {
 		for _, v := range row {
-			s += fmt.Sprintf("%.4f,", math.Round(v*1e4)/1e4)
+			buf = strconv.AppendFloat(buf, math.Round(v*1e4)/1e4, 'f', 4, 64)
+			buf = append(buf, ',')
 		}
-		s += ";"
+		buf = append(buf, ';')
 	}
-	return s
+	return string(buf)
 }

@@ -10,9 +10,20 @@ import (
 	"sync"
 )
 
+// cachedPlan is what one cache slot holds: the encoded plan plus the
+// response metadata served with it. The X-HAP-Passes header must survive
+// caching — a cache hit reports what the pass pipeline did when the plan was
+// synthesized, without clients scraping /stats.
+type cachedPlan struct {
+	plan   []byte
+	passes string // X-HAP-Passes header value ("" = pipeline disabled)
+}
+
+func (v cachedPlan) size() int64 { return int64(len(v.plan) + len(v.passes)) }
+
 type cacheEntry struct {
 	key string
-	val []byte
+	val cachedPlan
 }
 
 type lruCache struct {
@@ -35,14 +46,14 @@ func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
 	}
 }
 
-// get returns the cached value and refreshes its recency. The returned slice
-// is shared — callers must not mutate it.
-func (c *lruCache) get(key string) ([]byte, bool) {
+// get returns the cached value and refreshes its recency. The returned
+// plan bytes are shared — callers must not mutate them.
+func (c *lruCache) get(key string) (cachedPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return cachedPlan{}, false
 	}
 	c.ll.MoveToFront(e)
 	return e.Value.(*cacheEntry).val, true
@@ -51,20 +62,20 @@ func (c *lruCache) get(key string) ([]byte, bool) {
 // add inserts (or refreshes) a value and evicts from the LRU tail until both
 // caps hold. A value larger than maxBytes on its own is not cached at all —
 // caching it would evict everything else for a single entry.
-func (c *lruCache) add(key string, val []byte) {
+func (c *lruCache) add(key string, val cachedPlan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if int64(len(val)) > c.maxBytes {
+	if val.size() > c.maxBytes {
 		return
 	}
 	if e, ok := c.items[key]; ok {
 		ent := e.Value.(*cacheEntry)
-		c.bytes += int64(len(val)) - int64(len(ent.val))
+		c.bytes += val.size() - ent.val.size()
 		ent.val = val
 		c.ll.MoveToFront(e)
 	} else {
 		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-		c.bytes += int64(len(val))
+		c.bytes += val.size()
 	}
 	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
 		tail := c.ll.Back()
@@ -74,7 +85,7 @@ func (c *lruCache) add(key string, val []byte) {
 		ent := tail.Value.(*cacheEntry)
 		c.ll.Remove(tail)
 		delete(c.items, ent.key)
-		c.bytes -= int64(len(ent.val))
+		c.bytes -= ent.val.size()
 		c.evictions++
 	}
 }

@@ -6,11 +6,14 @@ import (
 	"testing"
 )
 
+// bp wraps raw bytes as a header-less cachedPlan for cache tests.
+func bp(s string) cachedPlan { return cachedPlan{plan: []byte(s)} }
+
 func TestLRUEntryCapEvictsOldest(t *testing.T) {
 	c := newLRUCache(2, 1<<20)
-	c.add("a", []byte("1"))
-	c.add("b", []byte("2"))
-	c.add("c", []byte("3"))
+	c.add("a", bp("1"))
+	c.add("b", bp("2"))
+	c.add("c", bp("3"))
 	if _, ok := c.get("a"); ok {
 		t.Error("oldest entry survived the entry cap")
 	}
@@ -26,8 +29,8 @@ func TestLRUEntryCapEvictsOldest(t *testing.T) {
 
 func TestLRUByteCapEvicts(t *testing.T) {
 	c := newLRUCache(100, 10)
-	c.add("a", make([]byte, 6))
-	c.add("b", make([]byte, 6)) // 12 > 10: "a" must go
+	c.add("a", cachedPlan{plan: make([]byte, 6)})
+	c.add("b", cachedPlan{plan: make([]byte, 6)}) // 12 > 10: "a" must go
 	if _, ok := c.get("a"); ok {
 		t.Error("byte cap not enforced")
 	}
@@ -38,10 +41,10 @@ func TestLRUByteCapEvicts(t *testing.T) {
 
 func TestLRUGetRefreshesRecency(t *testing.T) {
 	c := newLRUCache(2, 1<<20)
-	c.add("a", []byte("1"))
-	c.add("b", []byte("2"))
+	c.add("a", bp("1"))
+	c.add("b", bp("2"))
 	c.get("a") // "b" is now least recent
-	c.add("c", []byte("3"))
+	c.add("c", bp("3"))
 	if _, ok := c.get("a"); !ok {
 		t.Error("recently used entry evicted")
 	}
@@ -52,7 +55,7 @@ func TestLRUGetRefreshesRecency(t *testing.T) {
 
 func TestLRUOversizedValueNotCached(t *testing.T) {
 	c := newLRUCache(10, 4)
-	c.add("big", make([]byte, 5))
+	c.add("big", cachedPlan{plan: make([]byte, 5)})
 	if _, ok := c.get("big"); ok {
 		t.Error("value above the byte cap was cached")
 	}
@@ -63,10 +66,10 @@ func TestLRUOversizedValueNotCached(t *testing.T) {
 
 func TestLRUUpdateExistingKey(t *testing.T) {
 	c := newLRUCache(10, 1<<20)
-	c.add("a", []byte("1"))
-	c.add("a", []byte("1234"))
+	c.add("a", bp("1"))
+	c.add("a", bp("1234"))
 	v, ok := c.get("a")
-	if !ok || string(v) != "1234" {
+	if !ok || string(v.plan) != "1234" {
 		t.Errorf("get after update = %q, %v", v, ok)
 	}
 	if entries, bytes, _ := c.snapshot(); entries != 1 || bytes != 4 {
@@ -84,7 +87,7 @@ func TestLRUConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 200; j++ {
 				k := fmt.Sprintf("k%d", (id+j)%64)
-				c.add(k, []byte(k))
+				c.add(k, bp(k))
 				c.get(k)
 			}
 		}(i)
@@ -100,16 +103,16 @@ func TestSingleFlightSharesResult(t *testing.T) {
 	calls := 0
 	gate := make(chan struct{})
 	var wg sync.WaitGroup
-	results := make([][]byte, 10)
+	results := make([]cachedPlan, 10)
 	shared := make([]bool, 10)
 	for i := 0; i < 10; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err, sh := g.do("k", func() ([]byte, error) {
+			v, err, sh := g.do("k", func() (cachedPlan, error) {
 				calls++ // safe: only one executor may run at a time
 				<-gate
-				return []byte("result"), nil
+				return bp("result"), nil
 			})
 			if err != nil {
 				t.Errorf("do: %v", err)
@@ -124,7 +127,7 @@ func TestSingleFlightSharesResult(t *testing.T) {
 	}
 	nonShared := 0
 	for i := range results {
-		if string(results[i]) != "result" {
+		if string(results[i].plan) != "result" {
 			t.Errorf("caller %d got %q", i, results[i])
 		}
 		if !shared[i] {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,11 @@ type Config struct {
 	// SynthTimeBudget bounds each request's synthesis wall-clock time
 	// (0 = DefaultSynthTimeBudget; negative = unlimited).
 	SynthTimeBudget time.Duration
+	// SynthWorkers bounds each synthesis's beam parallelism (0 = GOMAXPROCS).
+	// A server-level knob, not a request option, and not part of the cache
+	// key: any worker count emits a byte-identical plan, so it trades only
+	// latency under load, never cached content.
+	SynthWorkers int
 	// Synthesize overrides the planner, for tests. Nil means hap.Parallelize.
 	Synthesize func(*graph.Graph, *cluster.Cluster, hap.Options) (*hap.Plan, error)
 }
@@ -258,7 +264,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.misses.Add(1)
-	plan, err, shared := s.flight.do(key, func() ([]byte, error) {
+	plan, err, shared := s.flight.do(key, func() (cachedPlan, error) {
 		// Re-check under the flight: a request that missed while a previous
 		// flight for this key was completing would otherwise re-synthesize a
 		// plan the cache now holds.
@@ -276,19 +282,21 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			ExactSearch:   req.Options.ExactSearch,
 			DisablePasses: !req.Options.optimize(),
 			TimeBudget:    budget,
+			Workers:       s.cfg.SynthWorkers,
 		})
 		if err != nil {
-			return nil, err
+			return cachedPlan{}, err
 		}
 		s.recordPassStats(p.Passes)
 		var buf bytes.Buffer
 		if err := p.WriteProgram(&buf); err != nil {
-			return nil, err
+			return cachedPlan{}, err
 		}
+		v := cachedPlan{plan: buf.Bytes(), passes: passesHeader(p.Passes)}
 		// Cache before the flight key is released: a request arriving between
 		// flight completion and a later insert would synthesize a second time.
-		s.cache.add(key, buf.Bytes())
-		return buf.Bytes(), nil
+		s.cache.add(key, v)
+		return v, nil
 	})
 	if shared {
 		s.flightShared.Add(1)
@@ -300,10 +308,31 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	writePlan(w, plan, "miss")
 }
 
-func writePlan(w http.ResponseWriter, plan []byte, cache string) {
+// passesHeader renders the pass pipeline's per-pass rewrite counters as the
+// X-HAP-Passes header value, in pipeline order: "comm-fusion=3,dce=2".
+// Empty when the pipeline did not run (request opted out, or a stubbed
+// planner reported no stats).
+func passesHeader(ps hap.PassStats) string {
+	if ps.Rounds == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, p := range ps.PerPass {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", p.Pass, p.Changed)
+	}
+	return b.String()
+}
+
+func writePlan(w http.ResponseWriter, plan cachedPlan, cache string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-HAP-Cache", cache)
-	w.Write(plan)
+	if plan.passes != "" {
+		w.Header().Set("X-HAP-Passes", plan.passes)
+	}
+	w.Write(plan.plan)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -420,3 +420,49 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// The X-HAP-Passes header reports the pass pipeline's per-pass rewrite
+// counters on every /synthesize response — including cache hits, whose
+// header must reflect what the pipeline did when the plan was synthesized.
+func TestPassesHeaderServedOnMissAndHit(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}).Handler())
+	defer srv.Close()
+	body := requestBody(t, testGraph(t), testCluster(), RequestOptions{})
+
+	get := func(wantCache string) string {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if c := resp.Header.Get("X-HAP-Cache"); c != wantCache {
+			t.Fatalf("X-HAP-Cache = %q, want %q", c, wantCache)
+		}
+		return resp.Header.Get("X-HAP-Passes")
+	}
+
+	miss := get("miss")
+	if miss == "" {
+		t.Fatal("miss response has no X-HAP-Passes header")
+	}
+	for _, pass := range []string{"comm-fusion", "collective-cse", "dce"} {
+		if !strings.Contains(miss, pass+"=") {
+			t.Errorf("X-HAP-Passes = %q missing %s counter", miss, pass)
+		}
+	}
+	if hit := get("hit"); hit != miss {
+		t.Errorf("cache hit X-HAP-Passes = %q, want the miss's %q", hit, miss)
+	}
+
+	// Opting out of the pipeline must drop the header.
+	off := false
+	body = requestBody(t, testGraph(t), testCluster(), RequestOptions{Optimize: &off})
+	if h := get("miss"); h != "" {
+		t.Errorf("optimize=false response still carries X-HAP-Passes %q", h)
+	}
+}

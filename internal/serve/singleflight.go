@@ -11,7 +11,7 @@ import (
 
 type flightCall struct {
 	wg  sync.WaitGroup
-	val []byte
+	val cachedPlan
 	err error
 }
 
@@ -26,7 +26,7 @@ type flightGroup struct {
 // error for every caller — the daemon accepts arbitrary client graphs, and a
 // panicking synthesis must not wedge the key forever (waiters blocked on a
 // WaitGroup that never completes).
-func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+func (g *flightGroup) do(key string, fn func() (cachedPlan, error)) (val cachedPlan, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*flightCall{}
@@ -44,7 +44,7 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, err
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				c.val, c.err = nil, fmt.Errorf("synthesis panicked: %v", r)
+				c.val, c.err = cachedPlan{}, fmt.Errorf("synthesis panicked: %v", r)
 			}
 			c.wg.Done()
 			g.mu.Lock()

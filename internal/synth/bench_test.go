@@ -1,0 +1,38 @@
+// Microbenchmarks for the synthesis hot path: one benchmark per paper
+// workload, each reporting ns/op and allocs/op via -benchmem. These are the
+// numbers BENCH_synth.json baselines and CI's bench-smoke step regresses
+// against; README's "Performance" section tabulates them.
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/models"
+	"hap/internal/theory"
+)
+
+func benchSynthesize(b *testing.B, model models.PaperModel) {
+	c := cluster.PaperHeterogeneous(1)
+	g := models.Build(model, c.TotalGPUs())
+	th := theory.New(g)
+	ratios := cost.UniformRatios(g.NumSegments(), c.ProportionalRatios())
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := Options{BeamWidth: 48, Workers: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Synthesize(g, th, c, ratios, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSynthesizeVGG19(b *testing.B) { benchSynthesize(b, models.ModelVGG19) }
+func BenchmarkSynthesizeBERT(b *testing.B)  { benchSynthesize(b, models.ModelBERTBase) }
+func BenchmarkSynthesizeMoE(b *testing.B)   { benchSynthesize(b, models.ModelBERTMoE) }

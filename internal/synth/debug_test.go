@@ -23,24 +23,14 @@ func TestDebugVGGBeam(t *testing.T) {
 	b := cost.UniformRatios(1, c.ProportionalRatios())
 	th := theory.New(g)
 	sy := New(g, th, c, b, Options{BeamWidth: 16})
-
-	root := &state{
-		computed:     make([]uint64, sy.words),
-		communicated: make([]uint64, sy.words),
-		placed:       make([]int8, g.NumNodes()),
-		openComp:     make([]float64, sy.c.M()),
-		lastComp:     -1,
-	}
-	for i := range root.placed {
-		root.placed[i] = unplaced
-	}
+	root := sy.rootState()
 
 	level := []*state{root}
 	for depth := 0; depth < 3*g.NumNodes()+100 && len(level) > 0; depth++ {
 		visited := map[uint64]float64{}
 		var next []*state
 		for _, s := range level {
-			for _, ns := range sy.expandFrom(s, false) {
+			for _, ns := range sy.expandFrom(s, false, nil) {
 				if ns.complete {
 					t.Logf("complete at depth %d", depth)
 					return

@@ -17,18 +17,26 @@
 //  3. liveness pruning — a tensor's properties are dropped once every
 //     consumer is computed (required outputs are exempt).
 //
-// Two engineering additions keep large training graphs tractable and are
-// documented in DESIGN.md: computation instructions within a stage are
-// emitted in canonical (ascending node id) order, which collapses
-// cost-equivalent permutations without losing any stage partition; and an
-// optional beam bound caps expansions per search depth for model-scale
-// graphs (exact search remains the default for small graphs).
+// Engineering additions documented in DESIGN.md: computation instructions
+// within a stage are emitted in canonical (ascending node id) order, which
+// collapses cost-equivalent permutations without losing any stage partition;
+// an optional beam bound caps expansions per search depth for model-scale
+// graphs (exact search remains the default for small graphs); the beam
+// search fans each level over Options.Workers goroutines and merges
+// candidates in a deterministic total order, so the emitted program is
+// byte-identical for every worker count; and the per-expansion hot path is
+// allocation-lean — pooled states with copy-on-write bitsets, memoized
+// collective costs, and binary-searched property sets.
 package synth
 
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
+
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hap/internal/cluster"
@@ -51,6 +59,14 @@ type Options struct {
 	// can spend minutes inside its expansion budget. Serving stacks set
 	// this so one request cannot hold a worker indefinitely.
 	TimeBudget time.Duration
+	// Workers is the number of goroutines the beam search fans each level's
+	// candidate generation, scoring and materialization over (0 = GOMAXPROCS,
+	// 1 = serial). The emitted program is byte-identical for every worker
+	// count: workers own contiguous chunks of the level, so the merged
+	// candidate sequence — (parent index, candidate index) order — and the
+	// deterministic sort over it are independent of how the level was
+	// partitioned (see DESIGN.md). Exact A* is always serial.
+	Workers int
 	// DisableGroupedBroadcast removes the grouped-Broadcast All-Gather
 	// implementation (ablation "C", Sec. 7.4).
 	DisableGroupedBroadcast bool
@@ -75,6 +91,9 @@ const (
 	replicated = int8(-1)
 )
 
+// numColl is the size of the per-ref collective cost tables.
+const numColl = int(collective.AllToAll) + 1
+
 // state is a partial program: the property set plus progress bookkeeping.
 type state struct {
 	parent *state
@@ -91,7 +110,18 @@ type state struct {
 	lastComp   graph.NodeID
 	remFlops   float64
 	depth      int32 // instructions so far (for beam leveling)
+	nextReq    int32 // beam only: index into Synthesizer.reqNodes of the next computation
 	complete   bool
+
+	// Copy-on-write bookkeeping: clone shares the parent's bitset words and
+	// copies only on first mutation (each expansion touches one of the two
+	// sets, never both). owns* marks a backing array this state allocated —
+	// and may recycle on release.
+	ownsComputed     bool
+	ownsCommunicated bool
+	// spare holds bitset backing arrays recycled from this state object's
+	// previous pooled lives, consumed by the next copy-on-write.
+	spare [2][]uint64
 }
 
 func (s *state) effCost() float64 {
@@ -107,30 +137,112 @@ func (s *state) effCost() float64 {
 func bitGet(b []uint64, i graph.NodeID) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
 func bitSet(b []uint64, i graph.NodeID)      { b[i/64] |= 1 << (uint(i) % 64) }
 
-func (s *state) clone() *state {
-	c := &state{
-		parent:       s,
-		props:        append([]theory.Property(nil), s.props...),
-		computed:     append([]uint64(nil), s.computed...),
-		communicated: append([]uint64(nil), s.communicated...),
-		placed:       append([]int8(nil), s.placed...),
-		closedCost:   s.closedCost,
-		openComm:     s.openComm,
-		openComp:     append([]float64(nil), s.openComp...),
-		lastComp:     s.lastComp,
-		remFlops:     s.remFlops,
-		depth:        s.depth + 1,
+// cowCopy returns a private copy of src, reusing a spare backing array from
+// this state's previous pooled life when one is available.
+func (s *state) cowCopy(src []uint64) []uint64 {
+	var dst []uint64
+	for i, sp := range s.spare {
+		if sp != nil && len(sp) >= len(src) {
+			dst, s.spare[i] = sp[:len(src)], nil
+			break
+		}
 	}
+	if dst == nil {
+		dst = make([]uint64, len(src))
+	}
+	copy(dst, src)
+	return dst
+}
+
+func (s *state) stash(b []uint64) {
+	for i := range s.spare {
+		if s.spare[i] == nil {
+			s.spare[i] = b
+			return
+		}
+	}
+}
+
+// setComputed and setCommunicated are the only bitset writers: they
+// materialize the copy-on-write before mutating.
+func (s *state) setComputed(id graph.NodeID) {
+	if !s.ownsComputed {
+		s.computed = s.cowCopy(s.computed)
+		s.ownsComputed = true
+	}
+	bitSet(s.computed, id)
+}
+
+func (s *state) setCommunicated(id graph.NodeID) {
+	if !s.ownsCommunicated {
+		s.communicated = s.cowCopy(s.communicated)
+		s.ownsCommunicated = true
+	}
+	bitSet(s.communicated, id)
+}
+
+// clone allocates a successor of s from the pool. The bitsets are shared
+// copy-on-write; every other slice is copied into recycled backing.
+func (sy *Synthesizer) clone(s *state) *state {
+	c, _ := sy.statePool.Get().(*state)
+	if c == nil {
+		c = &state{}
+	}
+	c.parent = s
+	c.instrs = c.instrs[:0]
+	c.props = append(c.props[:0], s.props...)
+	c.computed, c.ownsComputed = s.computed, false
+	c.communicated, c.ownsCommunicated = s.communicated, false
+	c.placed = append(c.placed[:0], s.placed...)
+	c.closedCost = s.closedCost
+	c.openComm = s.openComm
+	c.openComp = append(c.openComp[:0], s.openComp...)
+	c.lastComp = s.lastComp
+	c.remFlops = s.remFlops
+	c.depth = s.depth + 1
+	c.nextReq = s.nextReq
+	c.complete = false
 	return c
 }
 
-func (s *state) hasProp(p theory.Property) bool {
-	for _, q := range s.props {
-		if q == p {
-			return true
+// release returns a state to the pool and recycles the bitsets it owns.
+// Callers must guarantee no live state borrows those bitsets: fresh
+// candidates discarded before gaining children, and beam-level states
+// retired with no surviving child and no retained complete descendant,
+// satisfy this (see runBeam's retirement discipline and DESIGN.md).
+func (sy *Synthesizer) release(s *state) {
+	if s.ownsComputed {
+		s.stash(s.computed)
+	}
+	if s.ownsCommunicated {
+		s.stash(s.communicated)
+	}
+	s.computed, s.communicated = nil, nil
+	s.ownsComputed, s.ownsCommunicated = false, false
+	s.parent = nil
+	sy.statePool.Put(s)
+}
+
+func (sy *Synthesizer) releaseAll(states []*state) {
+	for _, s := range states {
+		if s != nil {
+			sy.release(s)
 		}
 	}
-	return false
+}
+
+// hasProp binary-searches the sorted property set.
+func (s *state) hasProp(p theory.Property) bool {
+	lo, hi := 0, len(s.props)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if propLess(s.props[mid], p) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.props) && s.props[lo] == p
 }
 
 func (s *state) addProp(p theory.Property) {
@@ -233,10 +345,33 @@ type Synthesizer struct {
 	// deadline is the wall-clock cutoff derived from Options.TimeBudget
 	// (zero = unlimited), set at the start of Run.
 	deadline time.Time
+	// expired latches a TimeBudget violation so every beam worker observes
+	// it between candidate batches (prompt cancellation, see expiredNow).
+	expired atomic.Bool
 	// totalFlopsPerSec is the admissible-heuristic denominator.
 	totalFlopsPerSec float64
 	outputs          []theory.Output
-	outputByRef      map[graph.NodeID]theory.Output
+	// outputIdx maps a node id to its index in outputs, -1 otherwise — a
+	// dense table replacing a map lookup in the search's hottest loops.
+	outputIdx []int32
+	// reqNodes lists the required non-leaf nodes in ascending id order: the
+	// strict global topological schedule the beam walks (state.nextReq
+	// indexes it, so finding the next computation is O(1) per state).
+	reqNodes []graph.NodeID
+	// commT and commPen memoize cost.CommTime and cost.AddIntraPenalty per
+	// (ref, collective kind) — both are dim-independent, and the search
+	// prices the same few collectives millions of times. commPen[ref] holds
+	// the per-kind penalty vectors flattened with stride M.
+	commT   [][numColl]float64
+	commPen [][]float64
+
+	// statePool recycles beam states (and their slice backing) retired at
+	// level boundaries; see release for the aliasing discipline.
+	statePool sync.Pool
+
+	// Serial scratch buffers for exact A* (never used concurrently).
+	expandBuf []*state
+	ccBuf     []commCand
 }
 
 // New prepares a synthesizer for one (graph, theory, cluster, ratios) tuple.
@@ -262,12 +397,44 @@ func New(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]float64, o
 		words:            (g.NumNodes() + 63) / 64,
 		totalFlopsPerSec: c.TotalFlops(),
 		outputs:          th.Outputs,
-		outputByRef:      map[graph.NodeID]theory.Output{},
+		outputIdx:        make([]int32, g.NumNodes()),
+		commT:            make([][numColl]float64, g.NumNodes()),
+		commPen:          make([][]float64, g.NumNodes()),
 	}
-	for _, o := range th.Outputs {
-		s.outputByRef[o.Ref] = o
+	for i := range s.outputIdx {
+		s.outputIdx[i] = -1
+	}
+	for i, o := range th.Outputs {
+		s.outputIdx[o.Ref] = int32(i)
+	}
+	m := c.M()
+	for i := range g.Nodes {
+		id := graph.NodeID(i)
+		if !th.Required[id] || theory.IsLeaf(g.Node(id).Kind) {
+			continue
+		}
+		s.reqNodes = append(s.reqNodes, id)
+		pen := make([]float64, numColl*m)
+		for k := 0; k < numColl; k++ {
+			in := dist.Comm(id, collective.Kind(k), 0, 0)
+			s.commT[id][k] = cost.CommTime(c, g, in, b)
+			cost.AddIntraPenalty(c, g, in, b, pen[k*m:(k+1)*m])
+		}
+		s.commPen[id] = pen
 	}
 	return s
+}
+
+// workers resolves Options.Workers (0 = GOMAXPROCS).
+func (sy *Synthesizer) workers() int {
+	w := sy.opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Synthesize runs the search and returns the best program found.
@@ -275,20 +442,17 @@ func Synthesize(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]flo
 	return New(g, th, c, b, opt).Run()
 }
 
-// Run executes the search: exact A* (Fig. 10) when BeamWidth is zero, a
-// level-synchronized beam search otherwise.
-func (sy *Synthesizer) Run() (*dist.Program, Stats, error) {
-	start := time.Now()
-	if sy.opt.TimeBudget > 0 {
-		sy.deadline = start.Add(sy.opt.TimeBudget)
-	}
+// rootState builds the empty-program search root.
+func (sy *Synthesizer) rootState() *state {
 	g := sy.g
 	root := &state{
-		computed:     make([]uint64, sy.words),
-		communicated: make([]uint64, sy.words),
-		placed:       make([]int8, g.NumNodes()),
-		openComp:     make([]float64, sy.c.M()),
-		lastComp:     -1,
+		computed:         make([]uint64, sy.words),
+		communicated:     make([]uint64, sy.words),
+		placed:           make([]int8, g.NumNodes()),
+		openComp:         make([]float64, sy.c.M()),
+		lastComp:         -1,
+		ownsComputed:     true,
+		ownsCommunicated: true,
 	}
 	for i := range root.placed {
 		root.placed[i] = unplaced
@@ -299,6 +463,18 @@ func (sy *Synthesizer) Run() (*dist.Program, Stats, error) {
 			root.remFlops += g.Flops(id)
 		}
 	}
+	return root
+}
+
+// Run executes the search: exact A* (Fig. 10) when BeamWidth is zero, a
+// level-synchronized (optionally multi-core) beam search otherwise.
+func (sy *Synthesizer) Run() (*dist.Program, Stats, error) {
+	start := time.Now()
+	if sy.opt.TimeBudget > 0 {
+		sy.deadline = start.Add(sy.opt.TimeBudget)
+	}
+	sy.expired.Store(false)
+	root := sy.rootState()
 
 	var best *state
 	var stats Stats
@@ -313,7 +489,7 @@ func (sy *Synthesizer) Run() (*dist.Program, Stats, error) {
 		return nil, stats, err
 	}
 	stats.Cost = best.effCost()
-	return best.program(g), stats, nil
+	return best.program(sy.g), stats, nil
 }
 
 // runAStar is the exact search of Fig. 10.
@@ -343,7 +519,8 @@ func (sy *Synthesizer) runAStar(root *state) (*state, Stats, error) {
 		if err := sy.overBudget(stats.Expansions); err != nil {
 			return nil, stats, err
 		}
-		for _, next := range sy.expand(s) {
+		sy.expandBuf = sy.expandFrom(s, true, sy.expandBuf[:0])
+		for _, next := range sy.expandBuf {
 			k := next.key()
 			ec := next.effCost()
 			if prev, ok := visited[k]; ok && prev <= ec+1e-15 {
@@ -365,100 +542,266 @@ func (sy *Synthesizer) runAStar(root *state) (*state, Stats, error) {
 
 // beamCand is a scored, not-yet-materialized successor for the beam.
 type beamCand struct {
-	parent *state
+	parent int32          // index into the current level
 	tr     *theory.Triple // nil for communication candidates
 	cc     commCand
 	score  float64
 }
 
+// candRef is the compact record the merge sorts: 16 bytes instead of the
+// full candidate, so the sort — the beam's only serial O(C log C) step —
+// moves cache lines, not structs.
+type candRef struct {
+	score float64
+	idx   int32 // index into the level's candidate arena
+}
+
+// beamWorker is one worker's per-level scratch.
+type beamWorker struct {
+	out        []beamCand
+	ccBuf      []commCand
+	expansions int
+}
+
+// genCandidates scores every successor of s without materializing it,
+// appending to the worker's buffer. Safe to run concurrently for distinct
+// states: it reads only s and the immutable search context.
+func (sy *Synthesizer) genCandidates(s *state, pi int32, w *beamWorker) {
+	// Computation: strict global topological order — only the lowest
+	// uncomputed required node (see expandFrom). The beam computes required
+	// nodes in ascending id order, so the computed set is always a prefix of
+	// reqNodes and nextReq finds the candidate node in O(1).
+	if int(s.nextReq) < len(sy.reqNodes) {
+		id := sy.reqNodes[s.nextReq]
+		for _, tr := range sy.th.ByNode[id] {
+			if sy.opt.DisableSFB && sy.isSFBTriple(tr) {
+				continue
+			}
+			if sy.compApplicable(s, tr) {
+				score := sy.compDelta(s, tr) + (s.remFlops-sy.g.Flops(id))/sy.totalFlopsPerSec
+				w.out = append(w.out, beamCand{parent: pi, tr: tr, score: score})
+			}
+		}
+	}
+	// Communication candidates for live, uncommunicated tensors.
+	for _, p := range s.props {
+		if bitGet(s.communicated, p.Ref) {
+			continue
+		}
+		if oi := sy.outputIdx[p.Ref]; oi >= 0 && sy.outputAcceptable(s, sy.outputs[oi]) {
+			continue
+		}
+		w.ccBuf = sy.commCandidates(s, p, w.ccBuf[:0])
+		for _, cc := range w.ccBuf {
+			score := sy.commDelta(s, cc) + s.remFlops/sy.totalFlopsPerSec
+			w.out = append(w.out, beamCand{parent: pi, cc: cc, score: score})
+		}
+	}
+}
+
+// materialize turns a scored candidate into a state. Comp candidates advance
+// nextReq past the node they compute.
+func (sy *Synthesizer) materialize(level []*state, c *beamCand) *state {
+	parent := level[c.parent]
+	if c.tr != nil {
+		ns := sy.applyComp(parent, c.tr)
+		if ns != nil {
+			ns.nextReq = parent.nextReq + 1
+		}
+		return ns
+	}
+	return sy.applyComm(parent, c.cc)
+}
+
 // runBeam is the level-synchronized beam search used for model-scale graphs:
 // level k holds partial programs with k instructions; the best BeamWidth
-// states per level (by A* score) advance. Candidates are scored without
-// materialization and only the survivors are cloned, which keeps the search
-// allocation-light. Bounded suboptimality traded for a hard bound on search
-// effort; see DESIGN.md.
+// states per level (by A* score) advance.
+//
+// Each level runs in three phases. (1) Candidate generation and scoring fan
+// out over Options.Workers goroutines, each worker owning a contiguous chunk
+// of the level's states, so the concatenated candidate arena is always in
+// (parent index, candidate index) order regardless of worker count. (2) The
+// candidates are sorted by score with a deterministic algorithm over that
+// fixed arena order, giving one merge order for every worker count — the
+// surviving beam, and therefore the emitted program, is byte-identical
+// whether the level ran on 1 worker or 16. (3) Survivors are materialized
+// (in parallel batches; selection itself stays serial in merge order) with
+// dedup by state key; level states that produced no surviving child are
+// released to the state pool. Bounded suboptimality traded for a hard bound
+// on search effort; see DESIGN.md.
 func (sy *Synthesizer) runBeam(root *state) (*state, Stats, error) {
 	var stats Stats
 	var best *state
 	bestCost := 0.0
+	W := sy.workers()
+	ws := make([]*beamWorker, W)
+	for i := range ws {
+		ws[i] = &beamWorker{}
+	}
+	var (
+		arena []beamCand
+		refs  []candRef
+		mats  []*state
+		kept  []bool
+		next  []*state
+	)
+	visited := map[uint64]struct{}{}
 	level := []*state{root}
 	maxLevels := 3*sy.g.NumNodes() + 100
-	var cands []beamCand
-	var ccBuf []commCand
 	for depth := 0; depth < maxLevels && len(level) > 0; depth++ {
-		cands = cands[:0]
-		for _, s := range level {
-			stats.Expansions++
-			if err := sy.overBudget(stats.Expansions); err != nil {
-				return nil, stats, err
+		n := len(level)
+		workers := W
+		if workers > n {
+			workers = n
+		}
+		// Phase 1: generation + scoring. Contiguous chunks keep the
+		// concatenated arena ordered by (parent, enumeration index) — the
+		// deterministic tie-break of the merge.
+		if workers <= 1 {
+			w := ws[0]
+			w.out = w.out[:0]
+			for pi := 0; pi < n; pi++ {
+				stats.Expansions++
+				if err := sy.overBudget(stats.Expansions); err != nil {
+					return nil, stats, err
+				}
+				sy.genCandidates(level[pi], int32(pi), w)
 			}
-			// Computation: strict global topological order — only the lowest
-			// uncomputed required node (see expandFrom).
-			for i := 0; i < sy.g.NumNodes(); i++ {
-				id := graph.NodeID(i)
-				if !sy.th.Required[id] || bitGet(s.computed, id) || theory.IsLeaf(sy.g.Node(id).Kind) {
+			arena, w.out = w.out, arena // swap, don't copy: both are scratch
+		} else {
+			chunk := (n + workers - 1) / workers
+			var wg sync.WaitGroup
+			for c := 0; c < workers; c++ {
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				w := ws[c]
+				w.out = w.out[:0]
+				w.expansions = 0
+				if lo >= hi {
 					continue
 				}
-				for _, tr := range sy.th.ByNode[id] {
-					if sy.opt.DisableSFB && sy.isSFBTriple(tr) {
-						continue
+				wg.Add(1)
+				go func(lo, hi int, w *beamWorker) {
+					defer wg.Done()
+					for pi := lo; pi < hi; pi++ {
+						// Budget cancellation propagates per candidate batch:
+						// every worker re-checks the shared flag/deadline
+						// between states and bails as soon as any trips it.
+						if sy.expiredNow() {
+							return
+						}
+						w.expansions++
+						sy.genCandidates(level[pi], int32(pi), w)
 					}
-					if sy.compApplicable(s, tr) {
-						score := sy.compDelta(s, tr) + (s.remFlops-sy.g.Flops(id))/sy.totalFlopsPerSec
-						cands = append(cands, beamCand{parent: s, tr: tr, score: score})
-					}
-				}
-				break
+				}(lo, hi, w)
 			}
-			// Communication candidates for live, uncommunicated tensors.
-			for _, p := range s.props {
-				if bitGet(s.communicated, p.Ref) {
-					continue
-				}
-				if o, isOut := sy.outputByRef[p.Ref]; isOut && sy.outputAcceptable(s, o) {
-					continue
-				}
-				ccBuf = sy.commCandidates(s, p, ccBuf[:0])
-				for _, cc := range ccBuf {
-					score := sy.commDelta(s, cc) + s.remFlops/sy.totalFlopsPerSec
-					cands = append(cands, beamCand{parent: s, cc: cc, score: score})
-				}
+			wg.Wait()
+			arena = arena[:0]
+			for c := 0; c < workers; c++ {
+				stats.Expansions += ws[c].expansions
+				arena = append(arena, ws[c].out...)
+			}
+			if sy.expired.Load() {
+				return nil, stats, sy.overBudget(stats.Expansions)
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
-		visited := map[uint64]struct{}{}
-		var next []*state
-		for _, c := range cands {
-			if best != nil && c.score >= bestCost {
+		// Phase 2: deterministic merge order.
+		refs = refs[:0]
+		for i := range arena {
+			refs = append(refs, candRef{score: arena[i].score, idx: int32(i)})
+		}
+		sort.Slice(refs, func(a, b int) bool { return refs[a].score < refs[b].score })
+		// Phase 3: materialize + select survivors in merge order.
+		clear(visited)
+		next = next[:0]
+		if cap(kept) < n {
+			kept = make([]bool, n)
+		}
+		kept = kept[:n]
+		for i := range kept {
+			kept[i] = false
+		}
+		batch := 1
+		if workers > 1 {
+			batch = 4 * workers
+		}
+		i := 0
+	selection:
+		for i < len(refs) {
+			if best != nil && refs[i].score >= bestCost {
 				break // sorted: nothing further can improve
 			}
-			var ns *state
-			if c.tr != nil {
-				ns = sy.applyComp(c.parent, c.tr)
+			j := i + batch
+			if j > len(refs) {
+				j = len(refs)
+			}
+			mats = mats[:0]
+			if j-i == 1 || workers <= 1 {
+				j = i + 1
+				mats = append(mats, sy.materialize(level, &arena[refs[i].idx]))
 			} else {
-				ns = sy.applyComm(c.parent, c.cc)
-			}
-			if ns == nil {
-				continue
-			}
-			stats.Pushed++
-			if ns.complete {
-				if ec := ns.effCost(); best == nil || ec < bestCost {
-					best, bestCost = ns, ec
+				for k := i; k < j; k++ {
+					mats = append(mats, nil)
 				}
-				continue
+				var wg sync.WaitGroup
+				for c := 0; c < workers && c < j-i; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for k := i + c; k < j; k += workers {
+							mats[k-i] = sy.materialize(level, &arena[refs[k].idx])
+						}
+					}(c)
+				}
+				wg.Wait()
 			}
-			k := ns.key()
-			if _, ok := visited[k]; ok {
-				continue
+			for k := i; k < j; k++ {
+				ns := mats[k-i]
+				if best != nil && refs[k].score >= bestCost {
+					sy.releaseAll(mats[k-i:])
+					break selection
+				}
+				if ns == nil {
+					continue
+				}
+				stats.Pushed++
+				if ns.complete {
+					if ec := ns.effCost(); best == nil || ec < bestCost {
+						best, bestCost = ns, ec
+						kept[arena[refs[k].idx].parent] = true
+					} else {
+						sy.release(ns)
+					}
+					continue
+				}
+				key := ns.key()
+				if _, ok := visited[key]; ok {
+					sy.release(ns)
+					continue
+				}
+				visited[key] = struct{}{}
+				next = append(next, ns)
+				kept[arena[refs[k].idx].parent] = true
+				if len(next) >= sy.opt.BeamWidth {
+					sy.releaseAll(mats[k-i+1:])
+					break selection
+				}
 			}
-			visited[k] = struct{}{}
-			next = append(next, ns)
-			if len(next) >= sy.opt.BeamWidth {
-				break
+			i = j
+		}
+		// Retire this level: states that produced no surviving child and are
+		// not the parent of a retained complete state have no live borrowers
+		// and go back to the pool. Ancestors of survivors stay referenced
+		// through parent chains and are never revisited.
+		for pi, s := range level {
+			if !kept[pi] {
+				sy.release(s)
 			}
 		}
-		level = next
+		level, next = next, level
 	}
 	if best == nil {
 		return nil, stats, fmt.Errorf("synth: beam search found no complete program")
@@ -467,14 +810,29 @@ func (sy *Synthesizer) runBeam(root *state) (*state, Stats, error) {
 }
 
 // overBudget reports a wall-clock budget violation. Checked once per
-// expansion — the search's unit of real work, whose allocation cost dwarfs
-// the clock read — so a search never overshoots its budget by more than one
-// expansion.
+// expansion — the search's unit of real work, whose cost dwarfs the clock
+// read — so a search never overshoots its budget by more than one expansion.
 func (sy *Synthesizer) overBudget(expansions int) error {
-	if sy.deadline.IsZero() || !time.Now().After(sy.deadline) {
+	if !sy.expiredNow() {
 		return nil
 	}
 	return fmt.Errorf("synth: exceeded %v time budget after %d expansions", sy.opt.TimeBudget, expansions)
+}
+
+// expiredNow reports (and latches, so concurrent workers short-circuit
+// without re-reading the clock) whether the TimeBudget deadline has passed.
+func (sy *Synthesizer) expiredNow() bool {
+	if sy.deadline.IsZero() {
+		return false
+	}
+	if sy.expired.Load() {
+		return true
+	}
+	if time.Now().After(sy.deadline) {
+		sy.expired.Store(true)
+		return true
+	}
+	return false
 }
 
 // score is cost(Q) + ecost(Q): the A* priority. ecost is the remaining flops
@@ -483,20 +841,16 @@ func (sy *Synthesizer) score(s *state) float64 {
 	return s.effCost() + s.remFlops/sy.totalFlopsPerSec
 }
 
-// expand enumerates the successor states (Fig. 10 lines 7–19).
-func (sy *Synthesizer) expand(s *state) []*state { return sy.expandFrom(s, true) }
-
-// expandFrom enumerates successors. In canonical mode (exact A*) the next
-// computation must have a node id above the last one in the open stage,
-// collapsing cost-equivalent permutations: any program can be reordered so
-// comps within a stage ascend. Beam mode instead forces strict global
-// topological order — the natural forward-then-backward training schedule —
-// so that leaf placements are decided by forward consumers; without this, a
-// beam thread can place a parameter from its backward transpose first and
-// corner itself (the exact queue recovers through alternative orderings, a
-// beam cannot).
-func (sy *Synthesizer) expandFrom(s *state, canonical bool) []*state {
-	var out []*state
+// expandFrom enumerates successors into out. In canonical mode (exact A*)
+// the next computation must have a node id above the last one in the open
+// stage, collapsing cost-equivalent permutations: any program can be
+// reordered so comps within a stage ascend. Beam mode instead forces strict
+// global topological order — the natural forward-then-backward training
+// schedule — so that leaf placements are decided by forward consumers;
+// without this, a beam thread can place a parameter from its backward
+// transpose first and corner itself (the exact queue recovers through
+// alternative orderings, a beam cannot).
+func (sy *Synthesizer) expandFrom(s *state, canonical bool, out []*state) []*state {
 	g := sy.g
 	first := 0
 	if canonical {
@@ -530,10 +884,10 @@ func (sy *Synthesizer) expandFrom(s *state, canonical bool) []*state {
 		if bitGet(s.communicated, p.Ref) {
 			continue
 		}
-		if o, isOut := sy.outputByRef[p.Ref]; isOut && sy.outputAcceptable(s, o) {
+		if oi := sy.outputIdx[p.Ref]; oi >= 0 && sy.outputAcceptable(s, sy.outputs[oi]) {
 			continue // already in final form; more communication is waste
 		}
-		out = append(out, sy.commSuccessors(s, p)...)
+		out = sy.commSuccessors(s, p, out)
 	}
 	return out
 }
@@ -599,14 +953,11 @@ func (sy *Synthesizer) applyComp(s *state, tr *theory.Triple) *state {
 	if !sy.compApplicable(s, tr) {
 		return nil
 	}
-	var place []theory.Property
+	ns := sy.clone(s)
 	for _, p := range tr.LeafPre {
-		if s.placed[p.Ref] == unplaced {
-			place = append(place, p)
+		if s.placed[p.Ref] != unplaced {
+			continue
 		}
-	}
-	ns := s.clone()
-	for _, p := range place {
 		if p.Kind == theory.Gather {
 			ns.placed[p.Ref] = int8(p.Dim)
 		} else {
@@ -616,7 +967,7 @@ func (sy *Synthesizer) applyComp(s *state, tr *theory.Triple) *state {
 	}
 	in := tr.Instr(sy.g)
 	ns.instrs = append(ns.instrs, in)
-	bitSet(ns.computed, tr.Node)
+	ns.setComputed(tr.Node)
 	if !ns.hasProp(tr.Out) {
 		ns.addProp(tr.Out)
 	}
@@ -642,16 +993,21 @@ func (sy *Synthesizer) commCandidates(s *state, p theory.Property, out []commCan
 	// An output tensor is communicated at most once (opt 2), so that one
 	// communication must land directly on an acceptable final form; anything
 	// else makes the output permanently unacceptable.
-	output, isOutput := sy.outputByRef[p.Ref]
+	oi := sy.outputIdx[p.Ref]
+	isOutput := oi >= 0
+	var output theory.Output
 	outDim := -1
-	if isOutput && output.Param >= 0 {
-		switch pd := s.placed[output.Param]; pd {
-		case unplaced:
-			return out // placement unknown: communicating now could corner us
-		case replicated:
-			outDim = -1
-		default:
-			outDim = int(pd)
+	if isOutput {
+		output = sy.outputs[oi]
+		if output.Param >= 0 {
+			switch pd := s.placed[output.Param]; pd {
+			case unplaced:
+				return out // placement unknown: communicating now could corner us
+			case replicated:
+				outDim = -1
+			default:
+				outDim = int(pd)
+			}
 		}
 	}
 	try := func(in dist.Instruction, res theory.Property) {
@@ -662,7 +1018,7 @@ func (sy *Synthesizer) commCandidates(s *state, p theory.Property, out []commCan
 			if !output.Acceptable(res, outDim) {
 				return
 			}
-		} else if !sy.th.Wanted[res] {
+		} else if !sy.th.IsWanted(res) {
 			return // no triple's precondition can use the result
 		}
 		out = append(out, commCand{in: in, res: res})
@@ -691,9 +1047,9 @@ func (sy *Synthesizer) commCandidates(s *state, p theory.Property, out []commCan
 
 // applyComm materializes a communication successor.
 func (sy *Synthesizer) applyComm(s *state, cc commCand) *state {
-	ns := s.clone()
+	ns := sy.clone(s)
 	ns.instrs = append(ns.instrs, cc.in)
-	bitSet(ns.communicated, cc.in.Ref)
+	ns.setCommunicated(cc.in.Ref)
 	ns.addProp(cc.res)
 	// Close the open stage (Sec. 3.2): its comm + worst comp are paid.
 	worst := 0.0
@@ -703,11 +1059,11 @@ func (sy *Synthesizer) applyComm(s *state, cc commCand) *state {
 		}
 	}
 	ns.closedCost += ns.openComm + worst
-	for j := range ns.openComp {
-		ns.openComp[j] = 0
-	}
-	ns.openComm = cost.CommTime(sy.c, sy.g, cc.in, sy.b)
-	cost.AddIntraPenalty(sy.c, sy.g, cc.in, sy.b, ns.openComp)
+	k := int(cc.in.Coll)
+	pen := sy.commPen[cc.in.Ref]
+	m := len(ns.openComp)
+	copy(ns.openComp, pen[k*m:(k+1)*m])
+	ns.openComm = sy.commT[cc.in.Ref][k]
 	ns.lastComp = -1
 	ns.complete = sy.isComplete(ns)
 	return ns
@@ -721,13 +1077,13 @@ func (sy *Synthesizer) commDelta(s *state, cc commCand) float64 {
 			worst = v
 		}
 	}
-	return s.closedCost + s.openComm + worst + cost.CommTime(sy.c, sy.g, cc.in, sy.b)
+	return s.closedCost + s.openComm + worst + sy.commT[cc.in.Ref][int(cc.in.Coll)]
 }
 
-// commSuccessors materializes all communication successors of p.
-func (sy *Synthesizer) commSuccessors(s *state, p theory.Property) []*state {
-	var out []*state
-	for _, cc := range sy.commCandidates(s, p, nil) {
+// commSuccessors materializes all communication successors of p into out.
+func (sy *Synthesizer) commSuccessors(s *state, p theory.Property, out []*state) []*state {
+	sy.ccBuf = sy.commCandidates(s, p, sy.ccBuf[:0])
+	for _, cc := range sy.ccBuf {
 		out = append(out, sy.applyComm(s, cc))
 	}
 	return out
@@ -737,7 +1093,7 @@ func (sy *Synthesizer) commSuccessors(s *state, p theory.Property) []*state {
 // (optimization 3), keeping required outputs.
 func (sy *Synthesizer) pruneDead(s *state, justComputed graph.NodeID) {
 	check := func(u graph.NodeID) {
-		if _, isOut := sy.outputByRef[u]; isOut {
+		if sy.outputIdx[u] >= 0 {
 			return
 		}
 		for _, c := range sy.th.Consumers[u] {
@@ -776,8 +1132,18 @@ func (sy *Synthesizer) outputAcceptable(s *state, o theory.Output) bool {
 			dim = int(pd)
 		}
 	}
-	for _, p := range s.props {
-		if p.Ref == o.Ref && o.Acceptable(p, dim) {
+	// props are sorted by Ref first: binary-search the run of o.Ref.
+	lo, hi := 0, len(s.props)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.props[mid].Ref < o.Ref {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for ; lo < len(s.props) && s.props[lo].Ref == o.Ref; lo++ {
+		if o.Acceptable(s.props[lo], dim) {
 			return true
 		}
 	}

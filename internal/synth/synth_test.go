@@ -323,3 +323,77 @@ func TestTimeBudgetAbortsSearch(t *testing.T) {
 		t.Fatal("generous budget produced an empty program")
 	}
 }
+
+// The parallel beam must emit a byte-identical program for every worker
+// count: workers own contiguous level chunks, so the merged candidate
+// sequence — and the deterministic sort over it — never depends on the
+// partitioning. Run with -race to also exercise the worker pool.
+func TestParallelBeamMatchesSerial(t *testing.T) {
+	deep := func() *graph.Graph {
+		g := graph.New()
+		x := g.AddPlaceholder("x", 0, 64, 64)
+		h := x
+		for i := 0; i < 6; i++ {
+			w := g.AddParameter("w", 64, 64)
+			h = g.AddOp(graph.ReLU, g.AddOp(graph.MatMul, h, w))
+		}
+		g.SetLoss(g.AddOp(graph.Sum, h))
+		if err := autodiff.Backward(g); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	for name, g := range map[string]*graph.Graph{"mlp": mlpTraining(), "deep": deep()} {
+		t.Run(name, func(t *testing.T) {
+			c := twoDevices()
+			th := theory.New(g)
+			ref, refStats, err := Synthesize(g, th, c, ratios(c), Options{BeamWidth: 16, Workers: 1})
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				p, stats, err := Synthesize(g, th, c, ratios(c), Options{BeamWidth: 16, Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if p.String() != ref.String() {
+					t.Errorf("workers=%d emitted a different program:\n%s\nvs serial:\n%s", workers, p, ref)
+				}
+				if p2 := stats.Cost; p2 != refStats.Cost {
+					t.Errorf("workers=%d cost %v != serial %v", workers, p2, refStats.Cost)
+				}
+			}
+		})
+	}
+}
+
+// A budget-expired parallel search must return promptly: every worker checks
+// the shared deadline between candidate batches, so cancellation propagates
+// within roughly one beam level rather than running the level to completion.
+func TestParallelBudgetPropagatesToWorkers(t *testing.T) {
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 256, 256)
+	h := x
+	for i := 0; i < 24; i++ {
+		w := g.AddParameter("w", 256, 256)
+		h = g.AddOp(graph.ReLU, g.AddOp(graph.MatMul, h, w))
+	}
+	g.SetLoss(g.AddOp(graph.Sum, h))
+	if err := autodiff.Backward(g); err != nil {
+		t.Fatal(err)
+	}
+	c := twoDevices()
+	th := theory.New(g)
+	budget := 20 * time.Millisecond
+	start := time.Now()
+	_, _, err := Synthesize(g, th, c, ratios(c), Options{BeamWidth: 64, Workers: 4, TimeBudget: budget})
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "time budget") {
+		t.Fatalf("err = %v, want a time-budget violation", err)
+	}
+	// Generous bound: the search must stop within ~1 level of the deadline,
+	// not run the remaining levels out. A full search here takes seconds.
+	if elapsed > budget+2*time.Second {
+		t.Errorf("budget-expired search returned after %v (budget %v)", elapsed, budget)
+	}
+}

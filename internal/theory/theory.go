@@ -72,12 +72,26 @@ type Triple struct {
 	// FlopsScaled reports whether per-device flops scale with the sharding
 	// ratio (false for replicated execution, the SFB-enabling rules).
 	FlopsScaled bool
+	// instr is the materialized computation instruction, built once at rule
+	// construction and shared (including its Inputs backing array) by every
+	// search state; see Instr.
+	instr dist.Instruction
 }
 
 // Instr materializes the computation instruction of the triple. For Expand
 // (whose sharded variant produces a different local shape) the output shard
 // dimension is recorded so the runtime can execute it.
+//
+// The instruction is built once per triple and returned by value: the Inputs
+// backing array is shared across every state the synthesizer materializes
+// from this triple (millions, on model-scale searches). Instruction inputs
+// mirror the immutable graph and are never mutated downstream; consumers
+// that rewrite programs in place work on dist.Program.Clone copies.
 func (t *Triple) Instr(g *graph.Graph) dist.Instruction {
+	return t.instr
+}
+
+func buildInstr(g *graph.Graph, t *Triple) dist.Instruction {
 	n := g.Node(t.Node)
 	in := dist.Instruction{
 		Ref: t.Node, Op: n.Kind, Inputs: append([]graph.NodeID(nil), n.Inputs...),
@@ -116,6 +130,39 @@ type Theory struct {
 	// Wanted marks properties that appear in some triple's precondition:
 	// communication producing anything else cannot unblock a computation.
 	Wanted map[Property]bool
+	// wantedMask is the dense per-ref form of Wanted the synthesizer's hot
+	// path queries through IsWanted: bit 0 = Identity, bit 1 = Reduce,
+	// bit 2+d = Gather(d).
+	wantedMask []uint32
+}
+
+// wantedBit returns the wantedMask bit of p, or 0 for an unencodable
+// (absurdly high) shard dimension.
+func wantedBit(p Property) uint32 {
+	switch p.Kind {
+	case Identity:
+		return 1
+	case Reduce:
+		return 2
+	default:
+		if d := uint(p.Dim); d < 30 {
+			return 1 << (2 + d)
+		}
+		return 0
+	}
+}
+
+// IsWanted reports whether p appears in some triple's precondition, via a
+// dense table lookup (the map form is kept for enumeration and debugging).
+func (t *Theory) IsWanted(p Property) bool {
+	if int(p.Ref) >= len(t.wantedMask) {
+		return t.Wanted[p]
+	}
+	b := wantedBit(p)
+	if b == 0 {
+		return t.Wanted[p]
+	}
+	return t.wantedMask[p.Ref]&b != 0
 }
 
 // Output is a tensor the distributed program must materialize acceptably.
@@ -164,6 +211,7 @@ func New(g *graph.Graph) *Theory {
 	}
 
 	t.Wanted = map[Property]bool{}
+	t.wantedMask = make([]uint32, g.NumNodes())
 	for i := range g.Nodes {
 		id := graph.NodeID(i)
 		if !t.Required[id] || IsLeaf(g.Node(id).Kind) {
@@ -173,6 +221,7 @@ func New(g *graph.Graph) *Theory {
 		for _, tr := range t.ByNode[id] {
 			for _, p := range tr.Pre {
 				t.Wanted[p] = true
+				t.wantedMask[p.Ref] |= wantedBit(p)
 			}
 		}
 	}
@@ -185,12 +234,13 @@ func New(g *graph.Graph) *Theory {
 // expressed as filtered theories searched by the same synthesizer.
 func (t *Theory) Filter(keep func(*Triple) bool) *Theory {
 	nt := &Theory{
-		Graph:     t.Graph,
-		ByNode:    make([][]*Triple, len(t.ByNode)),
-		Consumers: t.Consumers,
-		Required:  t.Required,
-		Outputs:   t.Outputs,
-		Wanted:    map[Property]bool{},
+		Graph:      t.Graph,
+		ByNode:     make([][]*Triple, len(t.ByNode)),
+		Consumers:  t.Consumers,
+		Required:   t.Required,
+		Outputs:    t.Outputs,
+		Wanted:     map[Property]bool{},
+		wantedMask: make([]uint32, len(t.wantedMask)),
 	}
 	for id, triples := range t.ByNode {
 		for _, tr := range triples {
@@ -200,6 +250,7 @@ func (t *Theory) Filter(keep func(*Triple) bool) *Theory {
 			nt.ByNode[id] = append(nt.ByNode[id], tr)
 			for _, p := range tr.Pre {
 				nt.Wanted[p] = true
+				nt.wantedMask[p.Ref] |= wantedBit(p)
 			}
 		}
 	}
@@ -227,6 +278,7 @@ func addRule(g *graph.Graph, out *[]*Triple, node graph.NodeID, inProps []Proper
 			tr.Pre = append(tr.Pre, p)
 		}
 	}
+	tr.instr = buildInstr(g, tr)
 	*out = append(*out, tr)
 }
 

@@ -1,0 +1,120 @@
+// Command benchcheck compares `go test -bench -benchmem` output against a
+// committed baseline (BENCH_synth.json) and fails when allocs/op regress
+// beyond a ratio. CI's bench-smoke step runs it so an allocation regression
+// in the synthesis hot path fails the build instead of landing silently;
+// ns/op is reported but never gated — CI machines vary too much for
+// wall-clock assertions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkSynthesizeVGG19 -benchmem -benchtime=1x ./internal/synth > bench.txt
+//	go run ./internal/tools/benchcheck -baseline BENCH_synth.json -bench bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the BENCH_synth.json schema.
+type Baseline struct {
+	// Note documents how the baseline was produced.
+	Note string `json:"note"`
+	// Command reproduces the measurement.
+	Command string `json:"command"`
+	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to its
+	// committed numbers.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's committed numbers.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one -benchmem result line, e.g.
+// "BenchmarkSynthesizeVGG19/workers=1-8  3  97076510 ns/op  11646037 B/op  37509 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+
+// stripProcs removes the trailing -<GOMAXPROCS> the bench runner appends.
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_synth.json", "committed baseline file")
+	benchPath := flag.String("bench", "", "bench output file (default stdin)")
+	maxAllocsRatio := flag.Float64("max-allocs-ratio", 2.0, "fail when allocs/op exceeds baseline by this factor")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parsing %s: %v", *baselinePath, err)
+	}
+
+	in := os.Stdin
+	if *benchPath != "" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal("opening bench output: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	matched := 0
+	failed := false
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		entry, ok := base.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		matched++
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		allocs, _ := strconv.ParseFloat(m[4], 64)
+		ratio := allocs / entry.AllocsPerOp
+		status := "ok"
+		if ratio > *maxAllocsRatio {
+			status = fmt.Sprintf("FAIL (>%.1fx baseline)", *maxAllocsRatio)
+			failed = true
+		}
+		fmt.Printf("%s: %.0f allocs/op vs baseline %.0f (%.2fx, %s); %.1f ms/op vs baseline %.1f (informational)\n",
+			name, allocs, entry.AllocsPerOp, ratio, status, ns/1e6, entry.NsPerOp/1e6)
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading bench output: %v", err)
+	}
+	if matched == 0 {
+		fatal("no benchmark lines matched the baseline — wrong -bench output, or missing -benchmem?")
+	}
+	if failed {
+		fatal("allocation regression detected")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
