@@ -5,6 +5,7 @@
 package hap
 
 import (
+	"context"
 	"testing"
 
 	"hap/internal/cluster"
@@ -36,7 +37,7 @@ func BenchmarkAblationBeamWidth(b *testing.B) {
 		b.Run(itoa(width), func(b *testing.B) {
 			var stats synth.Stats
 			for i := 0; i < b.N; i++ {
-				_, s, err := synth.Synthesize(g, th, cl, ratios, synth.Options{BeamWidth: width})
+				_, s, err := synth.Synthesize(context.Background(), g, th, cl, ratios, synth.Options{BeamWidth: width})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -62,7 +63,7 @@ func BenchmarkAblationCommOpt(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var stats synth.Stats
 			for i := 0; i < b.N; i++ {
-				_, s, err := synth.Synthesize(g, th, cl, ratios,
+				_, s, err := synth.Synthesize(context.Background(), g, th, cl, ratios,
 					synth.Options{BeamWidth: 48, DisableGroupedBroadcast: disabled})
 				if err != nil {
 					b.Fatal(err)
@@ -111,7 +112,7 @@ func BenchmarkAblationSFB(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var stats synth.Stats
 			for i := 0; i < b.N; i++ {
-				_, s, err := synth.Synthesize(g, dp, cl, ratios,
+				_, s, err := synth.Synthesize(context.Background(), g, dp, cl, ratios,
 					synth.Options{BeamWidth: 32, DisableSFB: disabled})
 				if err != nil {
 					b.Fatal(err)
@@ -131,7 +132,7 @@ func BenchmarkAblationIterativeLoop(b *testing.B) {
 		b.Run(itoa(iters)+"-iterations", func(b *testing.B) {
 			var res *hapopt.Result
 			for i := 0; i < b.N; i++ {
-				r, err := hapopt.Optimize(g, cl, hapopt.Options{MaxIterations: iters, Synth: synth.Auto()})
+				r, err := hapopt.Optimize(context.Background(), g, cl, hapopt.Options{MaxIterations: iters, Synth: synth.Auto()})
 				if err != nil {
 					b.Fatal(err)
 				}

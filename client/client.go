@@ -1,0 +1,258 @@
+// Package client is the Go client for the hap-serve plan daemon's wire
+// protocol v2. It speaks the versioned /v1 endpoints, negotiates the compact
+// binary plan encoding by default (a model-scale plan is ~20× smaller than
+// its JSON form), decodes structured error envelopes, and honors the request
+// context end-to-end — cancelling ctx abandons the HTTP request and,
+// server-side, aborts the in-flight synthesis once no other client is
+// waiting on it.
+//
+//	cl := client.New("http://planner:8080")
+//	plan, err := cl.Synthesize(ctx, g, c, client.Options{})
+//	plans, err := cl.SynthesizeBatch(ctx, g, []*hap.Cluster{c1, c2}, client.Options{})
+//
+// The returned plans are bound to the caller's graph and ready for
+// hap.Verify / hap.Simulate, exactly as if hap.NewPlanner had produced them
+// locally.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"hap"
+)
+
+// binaryPlanContentType mirrors serve.BinaryPlanContentType (the serve
+// package is internal; the media type is the wire contract).
+const binaryPlanContentType = "application/x-hap-plan"
+
+// Options mirrors the wire "options" object of the synthesize endpoints.
+type Options struct {
+	// Segments requests per-segment sharding ratios.
+	Segments int `json:"segments,omitempty"`
+	// MaxIterations bounds the Q↔B alternation (0 = server default).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// ExactSearch forces exact A* instead of the automatic choice.
+	ExactSearch bool `json:"exact_search,omitempty"`
+	// Optimize toggles the post-synthesis pass pipeline (nil = on).
+	Optimize *bool `json:"optimize,omitempty"`
+}
+
+// APIError is a structured error envelope returned by a v1 endpoint.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // machine-readable error code
+	Message string // human-readable detail
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hap server: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for requests.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithJSONPlans disables binary content negotiation: plans travel as JSON.
+// Useful for debugging with a packet capture, never required.
+func WithJSONPlans() Option { return func(c *Client) { c.jsonPlans = true } }
+
+// Client talks to one hap-serve daemon. Safe for concurrent use.
+type Client struct {
+	base      string
+	http      *http.Client
+	jsonPlans bool
+}
+
+// New returns a client for the daemon at base (e.g. "http://host:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// request is the single-synthesize wire body.
+type request struct {
+	Graph   json.RawMessage `json:"graph"`
+	Cluster json.RawMessage `json:"cluster"`
+	Options Options         `json:"options"`
+}
+
+// batchRequest is the batch wire body.
+type batchRequest struct {
+	Graph    json.RawMessage   `json:"graph"`
+	Clusters []json.RawMessage `json:"clusters"`
+	Options  Options           `json:"options"`
+}
+
+// batchResponse mirrors serve.BatchResponse.
+type batchResponse struct {
+	Plans []struct {
+		Cache string          `json:"cache"`
+		Plan  json.RawMessage `json:"plan"`
+	} `json:"plans"`
+}
+
+func encodeGraph(g *hap.Graph) (json.RawMessage, error) {
+	var b bytes.Buffer
+	if err := g.Encode(&b); err != nil {
+		return nil, fmt.Errorf("client: encoding graph: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+func encodeCluster(c *hap.Cluster) (json.RawMessage, error) {
+	var b bytes.Buffer
+	if err := c.Encode(&b); err != nil {
+		return nil, fmt.Errorf("client: encoding cluster: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+// post sends one JSON body and returns the raw response. Non-2xx responses
+// are decoded into *APIError (with a plain-text fallback for proxies and the
+// legacy endpoint).
+func (c *Client) post(ctx context.Context, path string, body any, accept string) (*http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var env struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal(raw, &env); err != nil || env.Code == "" {
+			env.Code = "error"
+			env.Message = strings.TrimSpace(string(raw))
+		}
+		return nil, &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Message}
+	}
+	return resp, nil
+}
+
+// Synthesize plans g on cl via the server, returning the plan bound to g.
+// By default the binary encoding is negotiated; the server's JSON answer is
+// accepted either way, so the client works against any protocol version.
+func (c *Client) Synthesize(ctx context.Context, g *hap.Graph, cl *hap.Cluster, opt Options) (*hap.Plan, error) {
+	gb, err := encodeGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := encodeCluster(cl)
+	if err != nil {
+		return nil, err
+	}
+	accept := binaryPlanContentType + ", application/json"
+	if c.jsonPlans {
+		accept = "application/json"
+	}
+	resp, err := c.post(ctx, "/v1/synthesize", request{Graph: gb, Cluster: cb, Options: opt}, accept)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	ct := resp.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, binaryPlanContentType) {
+		plan, err := hap.ReadProgramBinary(resp.Body, g)
+		if err != nil {
+			return nil, fmt.Errorf("client: decoding binary plan: %w", err)
+		}
+		return plan, nil
+	}
+	plan, err := hap.ReadProgram(resp.Body, g)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding plan: %w", err)
+	}
+	return plan, nil
+}
+
+// SynthesizeBatch plans g against every cluster in one request — the server
+// builds the graph theory once for the whole batch. Plans come back in
+// cluster order, each bound to g. The batch wire format is JSON-only.
+func (c *Client) SynthesizeBatch(ctx context.Context, g *hap.Graph, clusters []*hap.Cluster, opt Options) ([]*hap.Plan, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("client: no clusters to synthesize for")
+	}
+	gb, err := encodeGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	raws := make([]json.RawMessage, len(clusters))
+	for i, cl := range clusters {
+		if raws[i], err = encodeCluster(cl); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := c.post(ctx, "/v1/synthesize/batch", batchRequest{Graph: gb, Clusters: raws, Options: opt}, "application/json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, fmt.Errorf("client: decoding batch response: %w", err)
+	}
+	if len(br.Plans) != len(clusters) {
+		return nil, fmt.Errorf("client: server returned %d plans for %d clusters", len(br.Plans), len(clusters))
+	}
+	plans := make([]*hap.Plan, len(br.Plans))
+	for i, bp := range br.Plans {
+		plan, err := hap.ReadProgram(bytes.NewReader(bp.Plan), g)
+		if err != nil {
+			return nil, fmt.Errorf("client: decoding plan %d: %w", i, err)
+		}
+		plans[i] = plan
+	}
+	return plans, nil
+}
+
+// Healthz probes the daemon and returns its reported protocol version.
+func (c *Client) Healthz(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: healthz returned HTTP %d", resp.StatusCode)
+	}
+	var h struct {
+		Status   string `json:"status"`
+		Protocol string `json:"protocol"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return "", fmt.Errorf("client: decoding healthz: %w", err)
+	}
+	if h.Status != "ok" {
+		return h.Protocol, fmt.Errorf("client: server reports status %q", h.Status)
+	}
+	return h.Protocol, nil
+}

@@ -6,11 +6,14 @@
 // Usage:
 //
 //	hap-serve [-addr :8080] [-cache-entries 1024] [-cache-bytes 268435456]
-//	          [-synth-budget 60s]
+//	          [-synth-budget 60s] [-cache-dir /var/lib/hap/plans]
 //
-// Endpoints: POST /synthesize, GET /healthz, GET /stats, GET /metrics
-// (Prometheus text format). See internal/serve for the wire format and
-// README for a worked example.
+// Endpoints (wire protocol v2): POST /v1/synthesize, POST
+// /v1/synthesize/batch, the deprecated legacy POST /synthesize, GET
+// /healthz, GET /stats, GET /metrics (Prometheus text format). With
+// -cache-dir, cached plans are written through to disk and restored on the
+// next boot. See internal/serve for the wire format and README for a worked
+// example.
 package main
 
 import (
@@ -35,13 +38,18 @@ func main() {
 		"wall-clock budget per request's synthesis, covering the whole optimization loop (0 = unlimited)")
 	workers := flag.Int("synth-workers", 0,
 		"beam-search worker goroutines per synthesis (0 = GOMAXPROCS); plans are byte-identical for any value")
+	cacheDir := flag.String("cache-dir", "",
+		"write cached plans through to this directory and restore them on boot (empty = memory only)")
 	flag.Parse()
 
 	synthBudget := *budget
 	if synthBudget == 0 {
 		synthBudget = -1 // Config treats 0 as "use default"; negative = unlimited
 	}
-	s := serve.New(serve.Config{MaxCacheEntries: *entries, MaxCacheBytes: *bytes, SynthTimeBudget: synthBudget, SynthWorkers: *workers})
+	s := serve.New(serve.Config{MaxCacheEntries: *entries, MaxCacheBytes: *bytes, SynthTimeBudget: synthBudget, SynthWorkers: *workers, CacheDir: *cacheDir})
+	if *cacheDir != "" {
+		log.Printf("hap-serve: restored %d cached plans from %s", s.Stats().CacheRestored, *cacheDir)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

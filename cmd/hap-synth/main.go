@@ -6,17 +6,24 @@
 //
 //	hap-synth [-model VGG19|ViT|BERT-Base|BERT-MoE] [-k gpusPerMachine]
 //	          [-cluster hetero|homo|a100p100] [-segments n] [-passes=true]
-//	          [-trace file] [-out plan.json]
+//	          [-trace file] [-out plan.json] [-server http://host:8080]
+//
+// With -server, synthesis is delegated to a hap-serve daemon over wire
+// protocol v2 (binary plan encoding): repeated invocations for the same
+// model and cluster hit the daemon's plan cache instead of re-synthesizing.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"hap"
+	"hap/client"
 	"hap/internal/cluster"
 	"hap/internal/models"
 	"hap/internal/sim"
@@ -31,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", 0, "beam-search worker goroutines (0 = GOMAXPROCS); the plan is byte-identical for any value")
 	trace := flag.String("trace", "", "write a Chrome trace of one simulated iteration to this file")
 	out := flag.String("out", "", "export the plan (program + ratios) as JSON to this file and verify the round-trip")
+	server := flag.String("server", "", "synthesize via this hap-serve daemon (e.g. http://host:8080) instead of locally")
 	flag.Parse()
 
 	var c *cluster.Cluster
@@ -50,7 +58,26 @@ func main() {
 	fmt.Printf("model %s: %d nodes, %.1fM parameters, %.2f GFLOPs/iteration\n",
 		*model, g.NumNodes(), float64(g.ParameterCount())/1e6, g.TotalFlops()/1e9)
 
-	plan, err := hap.Parallelize(g, c, hap.Options{Segments: *segments, DisablePasses: !*passes, Workers: *workers})
+	// ^C cancels the synthesis — locally it aborts the search within one
+	// candidate batch; against a server it also aborts the remote search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var plan *hap.Plan
+	var err error
+	if *server != "" {
+		optimize := *passes
+		plan, err = client.New(*server).Synthesize(ctx, g, c, client.Options{
+			Segments: *segments,
+			Optimize: &optimize,
+		})
+	} else {
+		opts := []hap.Option{hap.WithSegments(*segments), hap.WithWorkers(*workers)}
+		if !*passes {
+			opts = append(opts, hap.WithoutPasses())
+		}
+		plan, err = hap.NewPlanner(c, opts...).Plan(ctx, g)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +88,7 @@ func main() {
 	st := plan.Program.Stats()
 	fmt.Printf("\nprogram: %d instructions, %d collectives (%d ratio-scaled comps); histogram %v\n",
 		st.Instrs, st.Comms, st.FlopsScaled, st.PerCollective)
-	if *passes {
+	if *passes && *server == "" {
 		fmt.Printf("passes: %d rewrites in %d rounds", plan.Passes.Changed, plan.Passes.Rounds)
 		for _, ps := range plan.Passes.PerPass {
 			fmt.Printf("  %s=%d", ps.Pass, ps.Changed)

@@ -1,6 +1,7 @@
 package hap
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -202,11 +203,11 @@ func TestDifferentialParallelDeterminism(t *testing.T) {
 				b := cost.UniformRatios(g.NumSegments(), c.ProportionalRatios())
 				// Force the beam (small graphs would pick exact A*, which is
 				// always serial): width 24 matches the auto choice's regime.
-				serial, sstats, err := synth.Synthesize(g, th, c, b, synth.Options{BeamWidth: 24, Workers: 1})
+				serial, sstats, err := synth.Synthesize(context.Background(), g, th, c, b, synth.Options{BeamWidth: 24, Workers: 1})
 				if err != nil {
 					t.Fatalf("workers=1: %v", err)
 				}
-				parallel, pstats, err := synth.Synthesize(g, th, c, b, synth.Options{BeamWidth: 24, Workers: 4})
+				parallel, pstats, err := synth.Synthesize(context.Background(), g, th, c, b, synth.Options{BeamWidth: 24, Workers: 4})
 				if err != nil {
 					t.Fatalf("workers=4: %v", err)
 				}

@@ -10,14 +10,17 @@
 // communication method per collective (padded All-Gather vs grouped
 // Broadcast, sufficient factor broadcasting) — Sec. 3–5 of the paper.
 //
-// The API mirrors the artifact's hap.HAP function: build a model graph,
-// describe the cluster, call Parallelize:
+// The API centers on the context-aware Planner: build a model graph,
+// describe the cluster, plan:
 //
 //	g := hap.NewGraph()
 //	x := g.AddPlaceholder("x", 0, 512, 784)
 //	w := g.AddParameter("w", 784, 10)
 //	g.SetLoss(g.AddOp(hap.MatMul, x, w)) // ... then Backward(g)
-//	plan, err := hap.Parallelize(g, hap.Heterogeneous(...), hap.Options{})
+//	p := hap.NewPlanner(hap.Heterogeneous(...))
+//	plan, err := p.Plan(ctx, g)
+//
+// (hap.Parallelize(g, c, Options{}) remains as a deprecated shim.)
 //
 // The plan contains the SPMD program every device executes, the per-segment
 // sharding ratios, and the modeled per-iteration time. The numeric runtime
@@ -28,6 +31,7 @@ package hap
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -38,11 +42,9 @@ import (
 	"hap/internal/cluster"
 	"hap/internal/dist"
 	"hap/internal/graph"
-	"hap/internal/hapopt"
 	"hap/internal/passes"
 	"hap/internal/runtime"
 	"hap/internal/sim"
-	"hap/internal/synth"
 )
 
 // Re-exported graph construction API.
@@ -147,32 +149,12 @@ type Plan struct {
 
 // Parallelize runs the full HAP pipeline: iterative program synthesis and
 // sharding-ratio optimization (Sec. 3.1).
+//
+// Deprecated: use NewPlanner(c, WithOptions(opt)).Plan(ctx, g), which takes
+// a context.Context for cancellation and timeouts and amortizes setup across
+// calls. Parallelize is a thin shim over the Planner and never goes away.
 func Parallelize(g *Graph, c *Cluster, opt Options) (*Plan, error) {
-	o := hapopt.Options{
-		MaxIterations: opt.MaxIterations,
-		Segments:      opt.Segments,
-		Synth:         synth.Auto(),
-		DisablePasses: opt.DisablePasses,
-		TimeBudget:    opt.TimeBudget,
-	}
-	if opt.ExactSearch {
-		o.Synth = synth.Options{}
-	}
-	o.Synth.Workers = opt.Workers
-	res, err := hapopt.Optimize(g, c, o)
-	if err != nil {
-		return nil, err
-	}
-	if err := res.Program.Validate(); err != nil {
-		return nil, fmt.Errorf("hap: synthesized program is ill-formed: %w", err)
-	}
-	return &Plan{
-		Program:       res.Program,
-		Ratios:        res.Ratios,
-		Cost:          res.Cost,
-		SynthesisTime: res.Elapsed.Seconds(),
-		Passes:        res.Passes,
-	}, nil
+	return NewPlanner(c, WithOptions(opt)).Plan(context.Background(), g)
 }
 
 // planJSON is the serialized form of a Plan. The graph travels separately:

@@ -1,6 +1,7 @@
 package balance
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -30,7 +31,7 @@ func trainingProgram(t *testing.T, c *cluster.Cluster) *dist.Program {
 		t.Fatal(err)
 	}
 	b := cost.UniformRatios(1, c.ProportionalRatios())
-	p, _, err := synth.Synthesize(g, theory.New(g), c, b, synth.Options{})
+	p, _, err := synth.Synthesize(context.Background(), g, theory.New(g), c, b, synth.Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}

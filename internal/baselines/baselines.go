@@ -12,6 +12,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 
 	"hap/internal/cluster"
@@ -65,7 +66,7 @@ func isSFB(g *graph.Graph, tr *theory.Triple) bool {
 func plan(name string, g *graph.Graph, c *cluster.Cluster, th *theory.Theory,
 	ratios []float64, opt synth.Options) (*Plan, error) {
 	b := cost.UniformRatios(g.NumSegments(), ratios)
-	p, _, err := synth.Synthesize(g, th, c, b, opt)
+	p, _, err := synth.Synthesize(context.Background(), g, th, c, b, opt)
 	if err != nil {
 		return nil, fmt.Errorf("baselines: %s: %w", name, err)
 	}

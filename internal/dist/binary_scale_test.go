@@ -4,6 +4,7 @@ package dist_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"hap/internal/cluster"
@@ -24,7 +25,7 @@ func TestBinaryModelScaleRoundTripAndSize(t *testing.T) {
 	c := cluster.PaperHeterogeneous(1)
 	g := models.Build(models.ModelVGG19, c.TotalGPUs())
 	b := cost.UniformRatios(g.NumSegments(), c.ProportionalRatios())
-	p, _, err := synth.Synthesize(g, theory.New(g), c, b, synth.Options{BeamWidth: 48})
+	p, _, err := synth.Synthesize(context.Background(), g, theory.New(g), c, b, synth.Options{BeamWidth: 48})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}

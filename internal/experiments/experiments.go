@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -119,7 +120,7 @@ func (c Config) hapOpts() hapopt.Options {
 
 // runHAP optimizes with HAP and returns the simulated iteration time.
 func (c Config) runHAP(g *graph.Graph, cl *cluster.Cluster, seed int64) (float64, *hapopt.Result, error) {
-	res, err := hapopt.Optimize(g, cl, c.hapOpts())
+	res, err := hapopt.Optimize(context.Background(), g, cl, c.hapOpts())
 	if err != nil {
 		return 0, nil, err
 	}
@@ -299,7 +300,7 @@ func Fig15(c Config) *Report {
 		noOpt.DisableGroupedBroadcast = true
 		noOpt.DisableSFB = true
 		variant := func(o hapopt.Options) string {
-			res, err := hapopt.Optimize(g, cl, o)
+			res, err := hapopt.Optimize(context.Background(), g, cl, o)
 			if err != nil {
 				return "ERR"
 			}
@@ -410,7 +411,7 @@ func Fig18(c Config) *Report {
 		for _, h := range hiddenSet {
 			cfg := models.TransformerConfig{Layers: l, Hidden: h, FFN: 4 * h, SeqLen: 128, Vocab: 8192}
 			g := models.Training(models.BERT(cfg, 64*8*32))
-			res, err := hapopt.Optimize(g, cl, c.hapOpts())
+			res, err := hapopt.Optimize(context.Background(), g, cl, c.hapOpts())
 			if err != nil {
 				continue
 			}
@@ -441,7 +442,7 @@ func Fig19(c Config) *Report {
 		th := theory.New(g)
 		b := cost.UniformRatios(1, cl.ProportionalRatios())
 		start := time.Now()
-		p, _, err := synth.Synthesize(g, th, cl, b, synth.Auto())
+		p, _, err := synth.Synthesize(context.Background(), g, th, cl, b, synth.Auto())
 		if err != nil {
 			r.Rows = append(r.Rows, []string{fmt.Sprint(l), "ERR", ""})
 			continue

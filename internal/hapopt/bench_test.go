@@ -1,6 +1,7 @@
 package hapopt
 
 import (
+	"context"
 	"testing"
 
 	"hap/internal/cluster"
@@ -19,7 +20,7 @@ func BenchmarkOptimizeLoop(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Optimize(g, c, opt); err != nil {
+		if _, err := Optimize(context.Background(), g, c, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,8 +9,11 @@
 package hapopt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -47,8 +50,19 @@ type Options struct {
 	// TimeBudget bounds the whole optimization loop's wall-clock time:
 	// each program search gets the budget's remainder as its own limit, and
 	// an expired budget ends the loop with the best plan found so far (or an
-	// error when none exists yet). Zero means unlimited.
+	// error when none exists yet). Zero means unlimited. A deadline on the
+	// Optimize context behaves identically (the earlier of the two wins);
+	// cancelling the context instead aborts the loop with the context error —
+	// nobody is waiting for a best-effort plan after a disconnect.
 	TimeBudget time.Duration
+	// Theory overrides the background theory (nil = theory.New(g)). Batch
+	// planners synthesizing one graph against many clusters build the theory
+	// once and share it here: the theory depends only on the graph, never on
+	// the cluster or the sharding ratios. The graph must already carry the
+	// segment assignment matching Segments (see segment.Assign) — Optimize
+	// skips re-assigning when a shared theory is supplied, so a caller-built
+	// theory and the segment layout cannot drift apart mid-batch.
+	Theory *theory.Theory
 }
 
 // Result is the optimized plan.
@@ -69,17 +83,27 @@ type Result struct {
 }
 
 // Optimize runs the full HAP pipeline on a training graph and cluster.
-func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) {
+// Cancelling ctx aborts the loop (and any in-flight program search) promptly
+// with the context error; a ctx deadline acts like Options.TimeBudget.
+func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.MaxIterations == 0 {
 		opt.MaxIterations = 4
 	}
-	if opt.Segments > 1 {
-		segment.Assign(g, opt.Segments)
-	} else {
-		g.SegmentOf = nil
+	th := opt.Theory
+	if th == nil {
+		// A shared theory implies the caller already prepared the graph's
+		// segment assignment; otherwise it is (re)derived here.
+		if opt.Segments > 1 {
+			segment.Assign(g, opt.Segments)
+		} else {
+			g.SegmentOf = nil
+		}
+		th = theory.New(g)
 	}
-	th := theory.New(g)
 
 	init := opt.InitialRatios
 	if init == nil {
@@ -108,9 +132,19 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 	if opt.TimeBudget > 0 {
 		deadline = start.Add(opt.TimeBudget)
 	}
+	// A ctx deadline is the same contract as TimeBudget (the Planner API
+	// expresses budgets as context.WithTimeout); the earlier cutoff wins.
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
 	var best *Result
 	seen := map[string]bool{}
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		// An explicit cancellation aborts outright — unlike an expired
+		// budget, nobody is waiting for a best-effort plan.
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("hapopt: %w", err)
+		}
 		// The whole loop shares one wall-clock budget: each search runs
 		// under the remainder, and an expired budget ends the loop with the
 		// best plan so far instead of holding the caller longer.
@@ -120,7 +154,7 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 				if best != nil {
 					break
 				}
-				return nil, fmt.Errorf("hapopt: exceeded %v time budget before any plan completed", opt.TimeBudget)
+				return nil, fmt.Errorf("hapopt: time budget exhausted after %v before any plan completed", time.Since(start).Round(time.Millisecond))
 			}
 			if opt.Synth.TimeBudget <= 0 || rem < opt.Synth.TimeBudget {
 				opt.Synth.TimeBudget = rem
@@ -133,14 +167,20 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 		// theory wins cost ties — so the outcome is order-deterministic.
 		outs := make([]portfolioResult, len(portfolio))
 		if len(portfolio) == 1 {
-			outs[0].p, outs[0].stats, outs[0].err = synth.Synthesize(g, portfolio[0], c, b, opt.Synth)
+			outs[0].p, outs[0].stats, outs[0].err = synth.Synthesize(ctx, g, portfolio[0], c, b, opt.Synth)
 		} else {
+			// Split the worker budget across the concurrent searches instead
+			// of oversubscribing: two beams at GOMAXPROCS workers each would
+			// contend for the same cores. Plans are worker-count-invariant,
+			// so the split trades only latency, never content.
+			so := opt.Synth
+			so.Workers = SplitWorkers(so.Workers, len(portfolio))
 			var wg sync.WaitGroup
 			for i := range portfolio {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					outs[i].p, outs[i].stats, outs[i].err = synth.Synthesize(g, portfolio[i], c, b, opt.Synth)
+					outs[i].p, outs[i].stats, outs[i].err = synth.Synthesize(ctx, g, portfolio[i], c, b, so)
 				}(i)
 			}
 			wg.Wait()
@@ -151,6 +191,11 @@ func Optimize(g *graph.Graph, c *cluster.Cluster, opt Options) (*Result, error) 
 			cp, cs, err := outs[i].p, outs[i].stats, outs[i].err
 			if err != nil {
 				if i == 0 {
+					// A cancelled context propagates: the search was aborted
+					// because nobody wants the result anymore.
+					if ce := ctx.Err(); ce != nil && !errors.Is(ce, context.DeadlineExceeded) {
+						return nil, fmt.Errorf("hapopt: %w", ce)
+					}
 					// The budget expiring mid-iteration with a plan already
 					// in hand is the graceful-degradation path; any other
 					// base-theory failure propagates as before.
@@ -227,6 +272,20 @@ type portfolioResult struct {
 	p     *dist.Program
 	stats synth.Stats
 	err   error
+}
+
+// SplitWorkers divides a worker budget (0 = GOMAXPROCS) across n concurrent
+// searches, never below one worker each — the anti-oversubscription policy
+// shared by the portfolio loop and hap.Planner.PlanBatch's cluster fan-out.
+func SplitWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	per := workers / n
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 func hasExperts(g *graph.Graph) bool {

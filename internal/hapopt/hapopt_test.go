@@ -1,6 +1,8 @@
 package hapopt
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"hap/internal/models"
 	"hap/internal/runtime"
 	"hap/internal/segment"
+	"hap/internal/theory"
 )
 
 func hetero2() *cluster.Cluster {
@@ -23,7 +26,7 @@ func hetero2() *cluster.Cluster {
 func TestOptimizeMLP(t *testing.T) {
 	g := models.Training(models.MLP(256, 64, 128, 64, 10))
 	c := hetero2()
-	res, err := Optimize(g, c, Options{})
+	res, err := Optimize(context.Background(), g, c, Options{})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -41,11 +44,11 @@ func TestOptimizeMLP(t *testing.T) {
 func TestIterativeNoWorseThanSinglePass(t *testing.T) {
 	g := models.Training(models.MLP(256, 64, 128, 64, 10))
 	c := hetero2()
-	single, err := Optimize(g, c, Options{MaxIterations: 1})
+	single, err := Optimize(context.Background(), g, c, Options{MaxIterations: 1})
 	if err != nil {
 		t.Fatalf("single: %v", err)
 	}
-	iterated, err := Optimize(g, c, Options{MaxIterations: 4})
+	iterated, err := Optimize(context.Background(), g, c, Options{MaxIterations: 4})
 	if err != nil {
 		t.Fatalf("iterated: %v", err)
 	}
@@ -57,11 +60,11 @@ func TestIterativeNoWorseThanSinglePass(t *testing.T) {
 func TestSkipBalanceAblation(t *testing.T) {
 	g := models.Training(models.MLP(256, 64, 128, 64, 10))
 	c := hetero2()
-	full, err := Optimize(g, c, Options{})
+	full, err := Optimize(context.Background(), g, c, Options{})
 	if err != nil {
 		t.Fatalf("full: %v", err)
 	}
-	noB, err := Optimize(g, c, Options{SkipBalance: true})
+	noB, err := Optimize(context.Background(), g, c, Options{SkipBalance: true})
 	if err != nil {
 		t.Fatalf("noB: %v", err)
 	}
@@ -81,7 +84,7 @@ func TestSkipBalanceAblation(t *testing.T) {
 func TestSegmentedOptimization(t *testing.T) {
 	g := models.Training(models.MLP(256, 64, 128, 128, 64, 10))
 	c := hetero2()
-	res, err := Optimize(g, c, Options{Segments: 3})
+	res, err := Optimize(context.Background(), g, c, Options{Segments: 3})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -125,7 +128,7 @@ func TestOptimizedPlanNumericallyEquivalent(t *testing.T) {
 	for _, segments := range []int{1, 2} {
 		g := models.Training(models.MLP(24, 8, 12, 6))
 		c := hetero2()
-		res, err := Optimize(g, c, Options{Segments: segments})
+		res, err := Optimize(context.Background(), g, c, Options{Segments: segments})
 		if err != nil {
 			t.Fatalf("segments=%d: Optimize: %v", segments, err)
 		}
@@ -148,7 +151,7 @@ func TestDeadCodePrunedBeforeCostModeling(t *testing.T) {
 	r := g.AddOp(graph.ReLU, d)
 	c := hetero2()
 
-	res, err := Optimize(g, c, Options{})
+	res, err := Optimize(context.Background(), g, c, Options{})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -200,7 +203,7 @@ func TestOptimizeHeterogeneousBeatsEvenDP(t *testing.T) {
 	// applied to the same program.
 	g := models.Training(models.MLP(512, 256, 256, 256, 10))
 	c := hetero2()
-	res, err := Optimize(g, c, Options{})
+	res, err := Optimize(context.Background(), g, c, Options{})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -216,14 +219,70 @@ func TestOptimizeHeterogeneousBeatsEvenDP(t *testing.T) {
 func TestTimeBudgetBoundsTheWholeLoop(t *testing.T) {
 	g := models.Training(models.MLP(24, 8, 12, 6))
 	c := hetero2()
-	if _, err := Optimize(g, c, Options{TimeBudget: time.Nanosecond}); err == nil {
+	if _, err := Optimize(context.Background(), g, c, Options{TimeBudget: time.Nanosecond}); err == nil {
 		t.Fatal("Optimize succeeded under a 1ns budget; want a time-budget error")
 	}
-	res, err := Optimize(g, c, Options{TimeBudget: time.Minute})
+	res, err := Optimize(context.Background(), g, c, Options{TimeBudget: time.Minute})
 	if err != nil {
 		t.Fatalf("Optimize under a generous budget: %v", err)
 	}
 	if res.Program == nil || res.Cost <= 0 {
 		t.Fatalf("degenerate result under a generous budget: %+v", res)
+	}
+}
+
+// A cancelled context aborts the loop with the context error — unlike an
+// expired budget, which degrades to the best plan so far. A ctx deadline
+// behaves exactly like TimeBudget.
+func TestOptimizeContextSemantics(t *testing.T) {
+	g := models.Training(models.MLP(24, 8, 12, 6))
+	c := hetero2()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Optimize(cancelled, g, c, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	expired, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	if _, err := Optimize(expired, g, c, Options{}); err == nil || errors.Is(err, context.Canceled) {
+		t.Errorf("expired ctx deadline: err = %v, want a budget-style failure", err)
+	}
+}
+
+// A pre-built theory short-circuits theory construction — the sharing
+// contract PlanBatch relies on — without changing the plan.
+func TestOptimizeSharedTheory(t *testing.T) {
+	g := models.Training(models.MLP(24, 8, 12, 6))
+	c := hetero2()
+	base, err := Optimize(context.Background(), g, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := theory.New(g)
+	before := theory.Builds()
+	shared, err := Optimize(context.Background(), g, c, Options{Theory: th})
+	if err != nil {
+		t.Fatalf("Optimize with shared theory: %v", err)
+	}
+	if built := theory.Builds() - before; built != 0 {
+		t.Errorf("shared-theory Optimize built %d theories, want 0", built)
+	}
+	if shared.Program.String() != base.Program.String() {
+		t.Error("shared theory changed the synthesized program")
+	}
+}
+
+// SplitWorkers divides the worker budget across concurrent portfolio
+// searches instead of oversubscribing, never dropping below one per search.
+func TestSplitWorkers(t *testing.T) {
+	for _, tc := range []struct{ workers, n, want int }{
+		{8, 2, 4}, {8, 3, 2}, {1, 2, 1}, {2, 2, 1}, {3, 2, 1},
+	} {
+		if got := SplitWorkers(tc.workers, tc.n); got != tc.want {
+			t.Errorf("SplitWorkers(%d, %d) = %d, want %d", tc.workers, tc.n, got, tc.want)
+		}
+	}
+	if got := SplitWorkers(0, 2); got < 1 {
+		t.Errorf("SplitWorkers(0, 2) = %d, want >= 1", got)
 	}
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -77,7 +78,7 @@ func TestSynthesizedProgramEquivalentMLP(t *testing.T) {
 	for _, m := range []int{2, 3, 4} {
 		g := models.Training(models.MLP(12, 6, 8, 4))
 		c, b, th := synthFor(t, g, m)
-		p, _, err := synth.Synthesize(g, th, c, b, synth.Options{})
+		p, _, err := synth.Synthesize(context.Background(), g, th, c, b, synth.Options{})
 		if err != nil {
 			t.Fatalf("m=%d: Synthesize: %v", m, err)
 		}
@@ -99,7 +100,7 @@ func TestSynthesizedProgramEquivalentWithActivations(t *testing.T) {
 		t.Fatal(err)
 	}
 	c, b, th := synthFor(t, g, 3)
-	p, _, err := synth.Synthesize(g, th, c, b, synth.Options{})
+	p, _, err := synth.Synthesize(context.Background(), g, th, c, b, synth.Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -112,7 +113,7 @@ func TestEquivalenceUnderUnevenRatios(t *testing.T) {
 	g := models.Training(models.MLP(16, 8, 8, 4))
 	c, _, th := synthFor(t, g, 2)
 	b := [][]float64{{0.75, 0.25}}
-	p, _, err := synth.Synthesize(g, th, c, b, synth.Options{})
+	p, _, err := synth.Synthesize(context.Background(), g, th, c, b, synth.Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -163,7 +164,7 @@ func TestQuickRandomGraphEquivalence(t *testing.T) {
 		m := 2 + rng.Intn(2)
 		c := clusterOf(m)
 		b := cost.UniformRatios(1, c.ProportionalRatios())
-		p, _, err := synth.Synthesize(g, theory.New(g), c, b, synth.Options{})
+		p, _, err := synth.Synthesize(context.Background(), g, theory.New(g), c, b, synth.Options{})
 		if err != nil {
 			t.Logf("seed %d: synth: %v", seed, err)
 			return false
@@ -197,7 +198,7 @@ func TestSynthesizedProgramEquivalentEmbeddingModel(t *testing.T) {
 	}
 	for _, m := range []int{2, 3} {
 		c, b, th := synthFor(t, g, m)
-		p, _, err := synth.Synthesize(g, th, c, b, synth.Options{})
+		p, _, err := synth.Synthesize(context.Background(), g, th, c, b, synth.Options{})
 		if err != nil {
 			t.Fatalf("m=%d: Synthesize: %v", m, err)
 		}

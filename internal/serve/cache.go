@@ -10,16 +10,18 @@ import (
 	"sync"
 )
 
-// cachedPlan is what one cache slot holds: the encoded plan plus the
-// response metadata served with it. The X-HAP-Passes header must survive
-// caching — a cache hit reports what the pass pipeline did when the plan was
-// synthesized, without clients scraping /stats.
+// cachedPlan is what one cache slot holds: the encoded plan in both wire
+// forms plus the response metadata served with it. The X-HAP-Passes header
+// must survive caching — a cache hit reports what the pass pipeline did when
+// the plan was synthesized, without clients scraping /stats. The binary form
+// is cached alongside the JSON so content negotiation never re-encodes.
 type cachedPlan struct {
-	plan   []byte
+	plan   []byte // WriteProgram JSON
+	bin    []byte // WriteProgramBinary payload (may be empty for restored v1 files)
 	passes string // X-HAP-Passes header value ("" = pipeline disabled)
 }
 
-func (v cachedPlan) size() int64 { return int64(len(v.plan) + len(v.passes)) }
+func (v cachedPlan) size() int64 { return int64(len(v.plan) + len(v.bin) + len(v.passes)) }
 
 type cacheEntry struct {
 	key string
@@ -60,13 +62,15 @@ func (c *lruCache) get(key string) (cachedPlan, bool) {
 }
 
 // add inserts (or refreshes) a value and evicts from the LRU tail until both
-// caps hold. A value larger than maxBytes on its own is not cached at all —
-// caching it would evict everything else for a single entry.
-func (c *lruCache) add(key string, val cachedPlan) {
+// caps hold, reporting whether the value was stored and which keys were
+// evicted, so write-through persistence can mirror both decisions on disk.
+// A value larger than maxBytes on its own is not cached at all — caching it
+// would evict everything else for a single entry.
+func (c *lruCache) add(key string, val cachedPlan) (stored bool, evicted []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if val.size() > c.maxBytes {
-		return
+		return false, nil
 	}
 	if e, ok := c.items[key]; ok {
 		ent := e.Value.(*cacheEntry)
@@ -87,7 +91,9 @@ func (c *lruCache) add(key string, val cachedPlan) {
 		delete(c.items, ent.key)
 		c.bytes -= ent.val.size()
 		c.evictions++
+		evicted = append(evicted, ent.key)
 	}
+	return true, evicted
 }
 
 // snapshot returns (entries, bytes, evictions) for /stats.

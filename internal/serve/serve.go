@@ -8,21 +8,35 @@
 // the cache is the point of the daemon: a fleet of trainers asking for the
 // same (model, cluster) pair pays for one synthesis. Concurrent identical
 // requests are single-flighted — they block on the one in-flight synthesis
-// instead of each starting their own.
+// instead of each starting their own — and the synthesis runs under a
+// reference-counted flight context: it is cancelled when the last interested
+// client disconnects, never by one impatient client among many.
 //
-// Endpoints:
+// Wire protocol v2 (see DESIGN.md for the full specification):
 //
-//	POST /synthesize  {"graph": ..., "cluster": ..., "options": ...} → plan JSON
-//	GET  /healthz     liveness probe
-//	GET  /stats       cache and request counters, JSON
-//	GET  /metrics     the same counters in Prometheus text exposition format
+//	POST /v1/synthesize        {"graph", "cluster", "options"} → plan
+//	POST /v1/synthesize/batch  {"graph", "clusters": [...], "options"} → plans
+//	POST /synthesize           legacy unversioned endpoint (deprecated)
+//	GET  /healthz              liveness + protocol version, JSON
+//	GET  /stats                cache and request counters, JSON
+//	GET  /metrics              the same counters in Prometheus text format
+//
+// The v1 endpoints answer errors with a structured JSON envelope
+// {"code", "message"} and honor content negotiation: a request with
+// Accept: application/x-hap-plan receives the compact binary plan encoding
+// (hap.WriteProgramBinary) instead of JSON. The batch endpoint plans one
+// graph against many clusters, building the graph theory once (request
+// coalescing); its response is always JSON. The legacy endpoint keeps its
+// original plain-text errors and JSON-only responses.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
@@ -33,6 +47,21 @@ import (
 	"hap"
 	"hap/internal/cluster"
 	"hap/internal/graph"
+)
+
+// ProtocolVersion names the serve wire protocol implemented by this build,
+// reported by /healthz and /metrics.
+const ProtocolVersion = "v2"
+
+// BinaryPlanContentType is the media type of the compact binary plan
+// encoding, requested via the Accept header and returned as Content-Type.
+const BinaryPlanContentType = "application/x-hap-plan"
+
+// Endpoint labels for the per-endpoint request counters.
+const (
+	EndpointLegacy  = "legacy"
+	EndpointV1      = "v1"
+	EndpointV1Batch = "v1_batch"
 )
 
 // Defaults for Config zero values.
@@ -64,17 +93,67 @@ type Config struct {
 	// key: any worker count emits a byte-identical plan, so it trades only
 	// latency under load, never cached content.
 	SynthWorkers int
-	// Synthesize overrides the planner, for tests. Nil means hap.Parallelize.
-	Synthesize func(*graph.Graph, *cluster.Cluster, hap.Options) (*hap.Plan, error)
+	// CacheDir enables write-through disk persistence of the plan cache:
+	// every cached plan is also written to a content-addressed file under
+	// this directory, evictions delete their file, and a restarting server
+	// reloads the directory into the in-memory cache ("" = memory only).
+	CacheDir string
+	// Synthesize overrides the planner, for tests. Nil means a hap.Planner
+	// driven by the request context.
+	Synthesize func(context.Context, *graph.Graph, *cluster.Cluster, hap.Options) (*hap.Plan, error)
+	// PlanBatch overrides the batch planner, for tests. Nil means
+	// hap.Planner.PlanBatch, which builds the graph theory once for the
+	// whole batch.
+	PlanBatch func(context.Context, *graph.Graph, []*cluster.Cluster, hap.Options) ([]*hap.Plan, error)
 }
 
-// Request is the body of POST /synthesize: a graph and a cluster in their
-// JSON wire formats (graph.Encode, cluster.Encode), plus planner options.
+// Request is the body of POST /v1/synthesize (and the legacy /synthesize): a
+// graph and a cluster in their JSON wire formats (graph.Encode,
+// cluster.Encode), plus planner options.
 type Request struct {
 	Graph   json.RawMessage `json:"graph"`
 	Cluster json.RawMessage `json:"cluster"`
 	Options RequestOptions  `json:"options"`
 }
+
+// BatchRequest is the body of POST /v1/synthesize/batch: one graph planned
+// against every listed cluster, with the graph theory built once.
+type BatchRequest struct {
+	Graph    json.RawMessage   `json:"graph"`
+	Clusters []json.RawMessage `json:"clusters"`
+	Options  RequestOptions    `json:"options"`
+}
+
+// BatchResponse is the JSON answer of the batch endpoint: one entry per
+// requested cluster, in request order.
+type BatchResponse struct {
+	Plans []BatchPlanResult `json:"plans"`
+}
+
+// BatchPlanResult is one cluster's plan in a BatchResponse.
+type BatchPlanResult struct {
+	// Cache is "hit" or "miss", mirroring the X-HAP-Cache header.
+	Cache string `json:"cache"`
+	// Plan is the plan JSON (hap.Plan.WriteProgram form).
+	Plan json.RawMessage `json:"plan"`
+	// Passes mirrors the X-HAP-Passes header ("" = pipeline disabled).
+	Passes string `json:"passes,omitempty"`
+}
+
+// ErrorEnvelope is the structured error body of the v1 endpoints.
+type ErrorEnvelope struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes of the v1 envelopes.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeTooLarge         = "request_too_large"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeSynthesisFailed  = "synthesis_failed"
+	CodeCanceled         = "canceled"
+)
 
 // RequestOptions mirrors hap.Options on the wire.
 type RequestOptions struct {
@@ -94,7 +173,8 @@ func (o RequestOptions) optimize() bool {
 
 // Stats is the GET /stats payload.
 type Stats struct {
-	Requests       uint64  `json:"requests"`        // POST /synthesize requests
+	Protocol       string  `json:"protocol"`        // wire protocol version
+	Requests       uint64  `json:"requests"`        // plan requests, all endpoints
 	CacheHits      uint64  `json:"cache_hits"`      // served straight from cache
 	CacheMisses    uint64  `json:"cache_misses"`    // required (or joined) a synthesis
 	Syntheses      uint64  `json:"syntheses"`       // plans actually synthesized
@@ -103,7 +183,11 @@ type Stats struct {
 	CacheEntries   int     `json:"cache_entries"`   // plans currently cached
 	CacheBytes     int64   `json:"cache_bytes"`     // bytes currently cached
 	CacheEvictions uint64  `json:"cache_evictions"` // plans evicted by the LRU caps
+	CacheRestored  int     `json:"cache_restored"`  // plans reloaded from CacheDir on boot
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// RequestsByEndpoint breaks Requests down by wire endpoint
+	// (legacy, v1, v1_batch).
+	RequestsByEndpoint map[string]uint64 `json:"requests_by_endpoint"`
 	// PassRuns counts syntheses that ran the post-synthesis pass pipeline;
 	// PassRewrites totals the rewrites those pipelines applied, broken down
 	// by pass in PassRewritesBy.
@@ -114,12 +198,17 @@ type Stats struct {
 
 // Server is the plan-cache daemon. Create with New, mount via Handler.
 type Server struct {
-	cfg    Config
-	cache  *lruCache
-	flight flightGroup
-	start  time.Time
+	cfg      Config
+	cache    *lruCache
+	flight   flightGroup
+	persist  *diskStore
+	restored int
+	start    time.Time
 
 	requests     atomic.Uint64
+	epLegacy     atomic.Uint64
+	epV1         atomic.Uint64
+	epV1Batch    atomic.Uint64
 	hits         atomic.Uint64
 	misses       atomic.Uint64
 	syntheses    atomic.Uint64
@@ -133,6 +222,8 @@ type Server struct {
 }
 
 // New returns a Server with zero Config values filled from the defaults.
+// When cfg.CacheDir is set, previously persisted plans are restored into the
+// cache before the first request.
 func New(cfg Config) *Server {
 	if cfg.MaxCacheEntries <= 0 {
 		cfg.MaxCacheEntries = DefaultMaxCacheEntries
@@ -147,22 +238,55 @@ func New(cfg Config) *Server {
 		cfg.SynthTimeBudget = DefaultSynthTimeBudget
 	}
 	if cfg.Synthesize == nil {
-		cfg.Synthesize = func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
-			return hap.Parallelize(g, c, opt)
+		cfg.Synthesize = func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			return hap.NewPlanner(c, hap.WithOptions(opt)).Plan(ctx, g)
 		}
 	}
-	return &Server{
+	if cfg.PlanBatch == nil {
+		cfg.PlanBatch = func(ctx context.Context, g *graph.Graph, cs []*cluster.Cluster, opt hap.Options) ([]*hap.Plan, error) {
+			return hap.NewPlanner(cs[0], hap.WithOptions(opt)).PlanBatch(ctx, g, cs...)
+		}
+	}
+	s := &Server{
 		cfg:            cfg,
 		cache:          newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
 		start:          time.Now(),
 		passRewritesBy: map[string]uint64{},
 	}
+	if cfg.CacheDir != "" {
+		store, err := newDiskStore(cfg.CacheDir)
+		if err != nil {
+			// Loudly degrade: the daemon keeps serving from memory, but the
+			// operator can see persistence is off instead of discovering it
+			// at the next restart.
+			log.Printf("serve: persistence disabled: %v", err)
+		} else {
+			s.persist = store
+			// Restore mirrors storePlan: entries the (possibly re-capped)
+			// cache rejects or evicts during the reload lose their files too,
+			// so the directory converges to the LRU's actual contents instead
+			// of re-reading stale plans on every boot.
+			s.restored = store.load(func(key string, v cachedPlan) bool {
+				stored, evicted := s.cache.add(key, v)
+				if !stored {
+					store.remove(key)
+				}
+				for _, k := range evicted {
+					store.remove(k)
+				}
+				return stored
+			})
+		}
+	}
+	return s
 }
 
 // Handler returns the daemon's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/synthesize", s.handleSynthesize)
+	mux.HandleFunc("/synthesize", s.handleLegacySynthesize)
+	mux.HandleFunc("/v1/synthesize", s.handleV1Synthesize)
+	mux.HandleFunc("/v1/synthesize/batch", s.handleV1Batch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -173,6 +297,7 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Stats() Stats {
 	entries, bytes, evictions := s.cache.snapshot()
 	st := Stats{
+		Protocol:       ProtocolVersion,
 		Requests:       s.requests.Load(),
 		CacheHits:      s.hits.Load(),
 		CacheMisses:    s.misses.Load(),
@@ -182,7 +307,13 @@ func (s *Server) Stats() Stats {
 		CacheEntries:   entries,
 		CacheBytes:     bytes,
 		CacheEvictions: evictions,
+		CacheRestored:  s.restored,
 		UptimeSeconds:  time.Since(s.start).Seconds(),
+		RequestsByEndpoint: map[string]uint64{
+			EndpointLegacy:  s.epLegacy.Load(),
+			EndpointV1:      s.epV1.Load(),
+			EndpointV1Batch: s.epV1Batch.Load(),
+		},
 	}
 	s.passMu.Lock()
 	st.PassRuns = s.passRuns
@@ -220,51 +351,129 @@ func cacheKey(g *graph.Graph, c *cluster.Cluster, opt RequestOptions) string {
 		opt.Segments, opt.MaxIterations, opt.ExactSearch, opt.optimize())
 }
 
-func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	s.errors.Add(1)
-	http.Error(w, fmt.Sprintf(format, args...), status)
+// hapOptions lowers wire options plus server config into planner options.
+func (s *Server) hapOptions(opt RequestOptions) hap.Options {
+	budget := s.cfg.SynthTimeBudget
+	if budget < 0 {
+		budget = 0 // negative config = unlimited
+	}
+	return hap.Options{
+		Segments:      opt.Segments,
+		MaxIterations: opt.MaxIterations,
+		ExactSearch:   opt.ExactSearch,
+		DisablePasses: !opt.optimize(),
+		TimeBudget:    budget,
+		Workers:       s.cfg.SynthWorkers,
+	}
 }
 
-func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+// fail answers an error. The v1 endpoints get the structured JSON envelope;
+// the legacy endpoint keeps its historical plain-text body.
+func (s *Server) fail(w http.ResponseWriter, v1 bool, status int, code string, format string, args ...any) {
+	s.errors.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	if !v1 {
+		http.Error(w, msg, status)
 		return
 	}
-	s.requests.Add(1)
-	var req Request
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorEnvelope{Code: code, Message: msg})
+}
+
+// synthErrorCode maps a planner error to (HTTP status, envelope code). A
+// cancelled request context means the client went away: 499 in the nginx
+// convention, for the log's benefit — nobody reads the body.
+func synthErrorCode(err error) (int, string) {
+	if errors.Is(err, context.Canceled) {
+		return 499, CodeCanceled
+	}
+	return http.StatusUnprocessableEntity, CodeSynthesisFailed
+}
+
+// wantsBinaryPlan reports whether the request negotiates the binary plan
+// content type (v1 endpoints only).
+func wantsBinaryPlan(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mt := strings.TrimSpace(part)
+			if i := strings.IndexByte(mt, ';'); i >= 0 {
+				mt = strings.TrimSpace(mt[:i])
+			}
+			if mt == BinaryPlanContentType {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// decodePlanRequest parses and validates the shared body shape of the
+// synthesize endpoints. Failures are answered on w; the bool reports success.
+func (s *Server) decodePlanRequest(w http.ResponseWriter, r *http.Request, v1 bool, into any) bool {
+	if r.Method != http.MethodPost {
+		s.fail(w, v1, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+		return false
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(into); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-			return
+			s.fail(w, v1, http.StatusRequestEntityTooLarge, CodeTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
 		}
-		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		s.fail(w, v1, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+// The aggregate and per-endpoint request counters increment together, at
+// the top of each handler, so RequestsByEndpoint always sums to Requests —
+// including requests rejected before synthesis (bad method, bad body).
+func (s *Server) handleLegacySynthesize(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.epLegacy.Add(1)
+	s.synthesizeOne(w, r, false)
+}
+
+func (s *Server) handleV1Synthesize(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.epV1.Add(1)
+	s.synthesizeOne(w, r, true)
+}
+
+// synthesizeOne serves the single-cluster synthesize endpoints. v1 selects
+// the structured error envelope and binary content negotiation.
+func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) {
+	var req Request
+	if !s.decodePlanRequest(w, r, v1, &req) {
 		return
 	}
 	if len(req.Graph) == 0 || len(req.Cluster) == 0 {
-		s.fail(w, http.StatusBadRequest, "bad request: graph and cluster are required")
+		s.fail(w, v1, http.StatusBadRequest, CodeBadRequest, "bad request: graph and cluster are required")
 		return
 	}
 	g, err := graph.Decode(bytes.NewReader(req.Graph))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		s.fail(w, v1, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
 		return
 	}
 	c, err := cluster.Decode(bytes.NewReader(req.Cluster))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		s.fail(w, v1, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
 		return
 	}
 
+	binary := v1 && wantsBinaryPlan(r)
 	key := cacheKey(g, c, req.Options)
 	if plan, ok := s.cache.get(key); ok {
 		s.hits.Add(1)
-		writePlan(w, plan, "hit")
+		writePlan(w, plan, "hit", binary)
 		return
 	}
 	s.misses.Add(1)
-	plan, err, shared := s.flight.do(key, func() (cachedPlan, error) {
+	plan, err, shared := s.flight.do(r.Context(), key, func(fctx context.Context) (cachedPlan, error) {
 		// Re-check under the flight: a request that missed while a previous
 		// flight for this key was completing would otherwise re-synthesize a
 		// plan the cache now holds.
@@ -272,40 +481,159 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			return v, nil
 		}
 		s.syntheses.Add(1)
-		budget := s.cfg.SynthTimeBudget
-		if budget < 0 {
-			budget = 0 // negative config = unlimited
-		}
-		p, err := s.cfg.Synthesize(g, c, hap.Options{
-			Segments:      req.Options.Segments,
-			MaxIterations: req.Options.MaxIterations,
-			ExactSearch:   req.Options.ExactSearch,
-			DisablePasses: !req.Options.optimize(),
-			TimeBudget:    budget,
-			Workers:       s.cfg.SynthWorkers,
-		})
+		// fctx is the flight context: alive while any client still wants
+		// this plan, cancelled when the last one disconnects — so a dropped
+		// connection aborts the search without killing the synthesis other
+		// waiters are sharing.
+		p, err := s.cfg.Synthesize(fctx, g, c, s.hapOptions(req.Options))
 		if err != nil {
 			return cachedPlan{}, err
 		}
 		s.recordPassStats(p.Passes)
-		var buf bytes.Buffer
-		if err := p.WriteProgram(&buf); err != nil {
+		v, err := encodePlan(p)
+		if err != nil {
 			return cachedPlan{}, err
 		}
-		v := cachedPlan{plan: buf.Bytes(), passes: passesHeader(p.Passes)}
 		// Cache before the flight key is released: a request arriving between
 		// flight completion and a later insert would synthesize a second time.
-		s.cache.add(key, v)
+		s.storePlan(key, v)
 		return v, nil
 	})
 	if shared {
 		s.flightShared.Add(1)
 	}
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "synthesis failed: %v", err)
+		status, code := synthErrorCode(err)
+		s.fail(w, v1, status, code, "synthesis failed: %v", err)
 		return
 	}
-	writePlan(w, plan, "miss")
+	writePlan(w, plan, "miss", binary)
+}
+
+// handleV1Batch serves POST /v1/synthesize/batch: one graph against many
+// clusters. Clusters already cached are served from cache; the remaining
+// ones are planned in a single PlanBatch call that builds the graph theory
+// once — the request-coalescing path the batch endpoint exists for. The
+// response is always JSON.
+func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.epV1Batch.Add(1)
+	var req BatchRequest
+	if !s.decodePlanRequest(w, r, true, &req) {
+		return
+	}
+	if len(req.Graph) == 0 || len(req.Clusters) == 0 {
+		s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad request: graph and a non-empty clusters list are required")
+		return
+	}
+	g, err := graph.Decode(bytes.NewReader(req.Graph))
+	if err != nil {
+		s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
+		return
+	}
+	clusters := make([]*cluster.Cluster, len(req.Clusters))
+	keys := make([]string, len(req.Clusters))
+	for i, raw := range req.Clusters {
+		c, err := cluster.Decode(bytes.NewReader(raw))
+		if err != nil {
+			s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad request: cluster %d: %v", i, err)
+			return
+		}
+		clusters[i] = c
+		keys[i] = cacheKey(g, c, req.Options)
+	}
+
+	results := make([]BatchPlanResult, len(clusters))
+	// Collect the clusters that need a synthesis, coalescing duplicates
+	// (the same cluster listed twice is one search, answered twice).
+	missing := map[string]int{} // key → index of first cluster needing it
+	var missingOrder []string
+	for i, key := range keys {
+		if v, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			results[i] = BatchPlanResult{Cache: "hit", Plan: v.plan, Passes: v.passes}
+			continue
+		}
+		s.misses.Add(1)
+		results[i] = BatchPlanResult{Cache: "miss"}
+		if _, ok := missing[key]; !ok {
+			missing[key] = i
+			missingOrder = append(missingOrder, key)
+		}
+	}
+	if len(missing) > 0 {
+		toPlan := make([]*cluster.Cluster, len(missingOrder))
+		for j, key := range missingOrder {
+			toPlan[j] = clusters[missing[key]]
+		}
+		s.syntheses.Add(uint64(len(toPlan)))
+		plans, batchErr := s.cfg.PlanBatch(r.Context(), g, toPlan, s.hapOptions(req.Options))
+		if batchErr == nil && len(plans) != len(toPlan) {
+			plans, batchErr = nil, fmt.Errorf("planner returned %d plans for %d clusters", len(plans), len(toPlan))
+		}
+		// Cache whatever completed even when the batch as a whole failed
+		// (PlanBatch returns partial results): a starved cluster under the
+		// shared budget must not force retries to re-pay its siblings' work.
+		fresh := map[string]cachedPlan{}
+		for j, key := range missingOrder {
+			if j >= len(plans) || plans[j] == nil {
+				continue
+			}
+			s.recordPassStats(plans[j].Passes)
+			v, err := encodePlan(plans[j])
+			if err != nil {
+				s.fail(w, true, http.StatusInternalServerError, CodeSynthesisFailed, "encoding plan: %v", err)
+				return
+			}
+			s.storePlan(key, v)
+			fresh[key] = v
+		}
+		if batchErr != nil {
+			status, code := synthErrorCode(batchErr)
+			s.fail(w, true, status, code, "synthesis failed: %v", batchErr)
+			return
+		}
+		for i, key := range keys {
+			if v, ok := fresh[key]; ok && results[i].Plan == nil {
+				results[i].Plan = v.plan
+				results[i].Passes = v.passes
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(BatchResponse{Plans: results})
+}
+
+// encodePlan renders a synthesized plan into its cached wire forms: the
+// diffable JSON and the compact binary payload, plus the passes header.
+func encodePlan(p *hap.Plan) (cachedPlan, error) {
+	var buf bytes.Buffer
+	if err := p.WriteProgram(&buf); err != nil {
+		return cachedPlan{}, err
+	}
+	var bin bytes.Buffer
+	if err := p.WriteProgramBinary(&bin); err != nil {
+		return cachedPlan{}, err
+	}
+	return cachedPlan{plan: buf.Bytes(), bin: bin.Bytes(), passes: passesHeader(p.Passes)}, nil
+}
+
+// storePlan inserts a plan into the cache and, when persistence is on,
+// writes it through to disk — deleting the files of any entries the insert
+// evicted, so the directory tracks the LRU's contents. A plan the cache
+// rejected (over the byte cap on its own) is not persisted either: its file
+// would never be eviction-tracked and would accumulate forever.
+func (s *Server) storePlan(key string, v cachedPlan) {
+	stored, evicted := s.cache.add(key, v)
+	if s.persist == nil {
+		return
+	}
+	if stored {
+		s.persist.save(key, v)
+	}
+	for _, k := range evicted {
+		s.persist.remove(k)
+	}
 }
 
 // passesHeader renders the pass pipeline's per-pass rewrite counters as the
@@ -326,18 +654,39 @@ func passesHeader(ps hap.PassStats) string {
 	return b.String()
 }
 
-func writePlan(w http.ResponseWriter, plan cachedPlan, cache string) {
-	w.Header().Set("Content-Type", "application/json")
+func writePlan(w http.ResponseWriter, plan cachedPlan, cache string, binary bool) {
 	w.Header().Set("X-HAP-Cache", cache)
 	if plan.passes != "" {
 		w.Header().Set("X-HAP-Passes", plan.passes)
 	}
+	if binary && len(plan.bin) > 0 {
+		w.Header().Set("Content-Type", BinaryPlanContentType)
+		w.Write(plan.bin)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	w.Write(plan.plan)
 }
 
+// healthzPayload is the GET /healthz body: liveness, the wire protocol
+// version, and the per-endpoint request counters.
+type healthzPayload struct {
+	Status   string            `json:"status"`
+	Protocol string            `json:"protocol"`
+	Requests map[string]uint64 `json:"requests"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(healthzPayload{
+		Status:   "ok",
+		Protocol: ProtocolVersion,
+		Requests: map[string]uint64{
+			EndpointLegacy:  s.epLegacy.Load(),
+			EndpointV1:      s.epV1.Load(),
+			EndpointV1Batch: s.epV1Batch.Load(),
+		},
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -359,7 +708,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
-	counter("hap_serve_requests_total", "POST /synthesize requests.", st.Requests)
+	fmt.Fprintf(&b, "# HELP hap_serve_protocol_info Wire protocol version served, as an info-style gauge.\n# TYPE hap_serve_protocol_info gauge\nhap_serve_protocol_info{version=%q} 1\n", st.Protocol)
+	counter("hap_serve_requests_total", "Plan requests across all endpoints.", st.Requests)
+	// Per-endpoint breakdown, in fixed order for a stable exposition.
+	fmt.Fprintf(&b, "# HELP hap_serve_requests_by_endpoint_total Plan requests, by wire endpoint.\n# TYPE hap_serve_requests_by_endpoint_total counter\n")
+	for _, ep := range []string{EndpointLegacy, EndpointV1, EndpointV1Batch} {
+		fmt.Fprintf(&b, "hap_serve_requests_by_endpoint_total{endpoint=%q} %d\n", ep, st.RequestsByEndpoint[ep])
+	}
 	counter("hap_serve_cache_hits_total", "Requests served straight from the plan cache.", st.CacheHits)
 	counter("hap_serve_cache_misses_total", "Requests that required (or joined) a synthesis.", st.CacheMisses)
 	counter("hap_serve_syntheses_total", "Plans actually synthesized.", st.Syntheses)
@@ -368,6 +723,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("hap_serve_cache_evictions_total", "Plans evicted by the LRU caps.", st.CacheEvictions)
 	gauge("hap_serve_cache_entries", "Plans currently cached.", float64(st.CacheEntries))
 	gauge("hap_serve_cache_bytes", "Bytes of plans currently cached.", float64(st.CacheBytes))
+	gauge("hap_serve_cache_restored", "Plans reloaded from the cache directory on boot.", float64(st.CacheRestored))
 	gauge("hap_serve_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
 	counter("hap_serve_pass_runs_total", "Syntheses that ran the post-synthesis pass pipeline.", st.PassRuns)
 	counter("hap_serve_pass_rewrites_total", "Program rewrites applied by the pass pipeline.", st.PassRewrites)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -148,7 +149,7 @@ func TestServeSingleFlight(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	cfg := Config{
-		Synthesize: func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+		Synthesize: func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
 			mu.Lock()
 			syntheses++
 			first := syntheses == 1
@@ -251,7 +252,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 func TestServeSynthesisFailureNotCached(t *testing.T) {
 	calls := 0
 	s := New(Config{
-		Synthesize: func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+		Synthesize: func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
 			calls++
 			return nil, io.ErrUnexpectedEOF
 		},
@@ -276,7 +277,7 @@ func TestServeSynthesisFailureNotCached(t *testing.T) {
 func TestServePanicContained(t *testing.T) {
 	calls := 0
 	s := New(Config{
-		Synthesize: func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+		Synthesize: func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
 			calls++
 			panic("slice bounds out of range")
 		},
@@ -309,17 +310,42 @@ func TestServeOversizedRequestGets413(t *testing.T) {
 	}
 }
 
+// TestHealthz: the liveness probe reports the wire protocol version and the
+// per-endpoint request counters.
 func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(New(Config{}).Handler())
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
+
+	// Two legacy requests, so the per-endpoint counters have something to say.
+	body := requestBody(t, testGraph(t), testCluster(), RequestOptions{})
+	for i := 0; i < 2; i++ {
+		if status, _, b := post(t, srv.URL, body); status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, b)
+		}
+	}
+
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	b, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(b)) != "ok" {
-		t.Errorf("healthz = %d %q", resp.StatusCode, b)
+	var h struct {
+		Status   string            `json:"status"`
+		Protocol string            `json:"protocol"`
+		Requests map[string]uint64 `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode /healthz: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Errorf("healthz = %d status %q, want 200/ok", resp.StatusCode, h.Status)
+	}
+	if h.Protocol != ProtocolVersion {
+		t.Errorf("healthz protocol = %q, want %q", h.Protocol, ProtocolVersion)
+	}
+	if h.Requests[EndpointLegacy] != 2 || h.Requests[EndpointV1] != 0 || h.Requests[EndpointV1Batch] != 0 {
+		t.Errorf("healthz per-endpoint counters = %v, want legacy=2, v1=0, v1_batch=0", h.Requests)
 	}
 }
 
@@ -334,7 +360,7 @@ func TestOptimizeOptionPlumbing(t *testing.T) {
 	var mu sync.Mutex
 	var opts []hap.Options
 	s := New(Config{
-		Synthesize: func(g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+		Synthesize: func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
 			mu.Lock()
 			opts = append(opts, opt)
 			mu.Unlock()

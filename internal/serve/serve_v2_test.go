@@ -1,0 +1,453 @@
+// Tests for wire protocol v2: the versioned endpoints, the structured error
+// envelopes, binary content negotiation, batch coalescing, and disk
+// persistence of the plan cache.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"hap"
+	"hap/internal/cluster"
+	"hap/internal/dist"
+	"hap/internal/graph"
+	"hap/internal/theory"
+)
+
+// postPath posts a body to an arbitrary endpoint with optional Accept.
+func postPath(t *testing.T, url, path string, body []byte, accept string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestV1SynthesizeAndErrorEnvelope: the versioned endpoint serves the same
+// plans as the legacy one and answers failures with the {code, message}
+// envelope instead of plain text.
+func TestV1SynthesizeAndErrorEnvelope(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := testCluster()
+	body := requestBody(t, testGraph(t), c, RequestOptions{})
+
+	resp := postPath(t, srv.URL, "/v1/synthesize", body, "")
+	plan := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-HAP-Cache") != "miss" {
+		t.Fatalf("v1 first request: status %d cache %q: %s", resp.StatusCode, resp.Header.Get("X-HAP-Cache"), plan)
+	}
+	g2 := testGraph(t)
+	p, err := hap.ReadProgram(bytes.NewReader(plan), g2)
+	if err != nil {
+		t.Fatalf("ReadProgram on v1 plan: %v", err)
+	}
+	if err := hap.Verify(p, c.M(), 7); err != nil {
+		t.Errorf("v1 plan fails verification: %v", err)
+	}
+
+	// The legacy endpoint shares the cache: same content address, a hit.
+	status, cacheHdr, legacyPlan := post(t, srv.URL, body)
+	if status != http.StatusOK || cacheHdr != "hit" {
+		t.Fatalf("legacy after v1: status %d cache %q, want 200/hit", status, cacheHdr)
+	}
+	if !bytes.Equal(plan, legacyPlan) {
+		t.Error("legacy endpoint served different bytes than v1 for the same key")
+	}
+
+	// Errors carry the structured envelope with the right code.
+	cases := []struct {
+		name     string
+		body     string
+		wantCode string
+		wantHTTP int
+	}{
+		{"not json", "][", CodeBadRequest, http.StatusBadRequest},
+		{"missing cluster", `{"graph": {"version": 1}}`, CodeBadRequest, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postPath(t, srv.URL, "/v1/synthesize", []byte(tc.body), "")
+			raw := readAll(t, resp)
+			if resp.StatusCode != tc.wantHTTP {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantHTTP)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Errorf("error Content-Type = %q, want application/json", ct)
+			}
+			var env ErrorEnvelope
+			if err := json.Unmarshal(raw, &env); err != nil {
+				t.Fatalf("error body %q is not an envelope: %v", raw, err)
+			}
+			if env.Code != tc.wantCode || env.Message == "" {
+				t.Errorf("envelope = %+v, want code %q with a message", env, tc.wantCode)
+			}
+		})
+	}
+
+	// Method errors are enveloped too.
+	resp, err = http.Get(srv.URL + "/v1/synthesize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	var env ErrorEnvelope
+	if resp.StatusCode != http.StatusMethodNotAllowed || json.Unmarshal(raw, &env) != nil || env.Code != CodeMethodNotAllowed {
+		t.Errorf("GET /v1/synthesize = %d %q, want 405 with %q envelope", resp.StatusCode, raw, CodeMethodNotAllowed)
+	}
+}
+
+// TestBinaryContentNegotiation: Accept: application/x-hap-plan returns the
+// compact binary payload; its program section decodes with dist.DecodeBinary
+// and is byte-identical to the JSON-path program. Cache hits negotiate too.
+func TestBinaryContentNegotiation(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}).Handler())
+	defer srv.Close()
+	c := testCluster()
+	body := requestBody(t, testGraph(t), c, RequestOptions{})
+
+	// JSON path first (also warms the cache).
+	resp := postPath(t, srv.URL, "/v1/synthesize", body, "")
+	jsonPlan := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("JSON request: status %d: %s", resp.StatusCode, jsonPlan)
+	}
+	gJSON := testGraph(t)
+	pJSON, err := hap.ReadProgram(bytes.NewReader(jsonPlan), gJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Binary path: a cache hit, negotiated via Accept.
+	resp = postPath(t, srv.URL, "/v1/synthesize", body, BinaryPlanContentType+", application/json;q=0.5")
+	binPlan := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary request: status %d: %s", resp.StatusCode, binPlan)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != BinaryPlanContentType {
+		t.Fatalf("binary Content-Type = %q, want %q", ct, BinaryPlanContentType)
+	}
+	if resp.Header.Get("X-HAP-Cache") != "hit" {
+		t.Errorf("binary request missed the cache; negotiation must not fork the content address")
+	}
+	if len(binPlan) >= len(jsonPlan) {
+		t.Errorf("binary payload (%d bytes) not smaller than JSON (%d bytes)", len(binPlan), len(jsonPlan))
+	}
+
+	// The raw payload's program section is a plain dist binary program…
+	gBin := testGraph(t)
+	prog, err := dist.DecodeBinary(bytes.NewReader(binPlan), gBin)
+	if err != nil {
+		t.Fatalf("DecodeBinary on response body: %v", err)
+	}
+	var wantProg, gotProg bytes.Buffer
+	if err := pJSON.Program.Encode(&wantProg); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Encode(&gotProg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantProg.Bytes(), gotProg.Bytes()) {
+		t.Error("binary program differs from the JSON-path program")
+	}
+
+	// …and the full payload reconstructs the complete plan.
+	pBin, err := hap.ReadProgramBinary(bytes.NewReader(binPlan), testGraph(t))
+	if err != nil {
+		t.Fatalf("ReadProgramBinary: %v", err)
+	}
+	if err := hap.Verify(pBin, c.M(), 13); err != nil {
+		t.Errorf("binary plan fails verification: %v", err)
+	}
+	if pBin.Cost != pJSON.Cost {
+		t.Errorf("binary plan cost %v != JSON plan cost %v", pBin.Cost, pJSON.Cost)
+	}
+
+	// The legacy endpoint ignores Accept: its wire format is frozen.
+	resp = postPath(t, srv.URL, "/synthesize", body, BinaryPlanContentType)
+	legacy := readAll(t, resp)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("legacy endpoint negotiated %q; its format is frozen", ct)
+	}
+	if !bytes.Equal(legacy, jsonPlan) {
+		t.Error("legacy endpoint served different JSON than v1")
+	}
+}
+
+// batchBody assembles a /v1/synthesize/batch request.
+func batchBody(t *testing.T, g *graph.Graph, clusters []*cluster.Cluster, opt RequestOptions) []byte {
+	t.Helper()
+	var gb bytes.Buffer
+	if err := g.Encode(&gb); err != nil {
+		t.Fatal(err)
+	}
+	raws := make([]json.RawMessage, len(clusters))
+	for i, c := range clusters {
+		var cb bytes.Buffer
+		if err := c.Encode(&cb); err != nil {
+			t.Fatal(err)
+		}
+		raws[i] = append(json.RawMessage(nil), cb.Bytes()...)
+	}
+	body, err := json.Marshal(BatchRequest{Graph: gb.Bytes(), Clusters: raws, Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestBatchCoalescing: a batch of N clusters for one graph builds the graph
+// theory exactly once, returns one valid plan per cluster (identical to the
+// single-endpoint plan), and caches every entry.
+func TestBatchCoalescing(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	clusters := []*cluster.Cluster{
+		testCluster(),
+		cluster.FromGPUs(cluster.DefaultNetwork(),
+			cluster.MachineSpec{Type: cluster.A100, GPUs: 1},
+			cluster.MachineSpec{Type: cluster.P100, GPUs: 1}),
+		testCluster(), // duplicate of the first: one search, answered twice
+	}
+	body := batchBody(t, testGraph(t), clusters, RequestOptions{})
+
+	before := theory.Builds()
+	resp := postPath(t, srv.URL, "/v1/synthesize/batch", body, "")
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, raw)
+	}
+	if built := theory.Builds() - before; built != 1 {
+		t.Errorf("batch over %d clusters built the theory %d times, want once", len(clusters), built)
+	}
+
+	var br BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	if len(br.Plans) != len(clusters) {
+		t.Fatalf("batch returned %d plans for %d clusters", len(br.Plans), len(clusters))
+	}
+	for i, bp := range br.Plans {
+		if bp.Cache != "miss" {
+			t.Errorf("plan %d cache = %q, want miss on a cold server", i, bp.Cache)
+		}
+		p, err := hap.ReadProgram(bytes.NewReader(bp.Plan), testGraph(t))
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		if err := hap.Verify(p, clusters[i].M(), int64(3+i)); err != nil {
+			t.Errorf("plan %d fails verification: %v", i, err)
+		}
+	}
+	// The duplicate cluster received the same plan without a second search.
+	if !bytes.Equal(br.Plans[0].Plan, br.Plans[2].Plan) {
+		t.Error("duplicate clusters in one batch got different plans")
+	}
+	if st := s.Stats(); st.Syntheses != 2 {
+		t.Errorf("batch ran %d syntheses, want 2 (3 clusters, 1 duplicate)", st.Syntheses)
+	}
+
+	// A batch plan equals the single-endpoint plan for the same cluster
+	// (modulo whitespace: marshalling the batch response compacts the
+	// embedded RawMessage).
+	single := requestBody(t, testGraph(t), clusters[1], RequestOptions{})
+	resp = postPath(t, srv.URL, "/v1/synthesize", single, "")
+	singlePlan := readAll(t, resp)
+	if resp.Header.Get("X-HAP-Cache") != "hit" {
+		t.Errorf("single request after batch missed the cache")
+	}
+	var compactSingle, compactBatch bytes.Buffer
+	if err := json.Compact(&compactSingle, singlePlan); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&compactBatch, br.Plans[1].Plan); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compactSingle.Bytes(), compactBatch.Bytes()) {
+		t.Error("batch plan differs from the single-endpoint plan for the same cluster")
+	}
+
+	// Re-running the whole batch is all hits, no new synthesis.
+	resp = postPath(t, srv.URL, "/v1/synthesize/batch", body, "")
+	raw = readAll(t, resp)
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	for i, bp := range br.Plans {
+		if bp.Cache != "hit" {
+			t.Errorf("repeat batch plan %d cache = %q, want hit", i, bp.Cache)
+		}
+	}
+	if st := s.Stats(); st.Syntheses != 2 {
+		t.Errorf("repeat batch re-synthesized (total %d, want 2)", st.Syntheses)
+	}
+}
+
+// A batch where one cluster fails (e.g. starved under the shared budget)
+// still caches the plans that completed: the request errors, but a retry —
+// or a single request for a finished cluster — does not re-pay its work.
+func TestBatchPartialFailureCachesSuccesses(t *testing.T) {
+	g := testGraph(t)
+	failErr := errors.New("cluster 2 starved")
+	s := New(Config{
+		PlanBatch: func(ctx context.Context, gr *graph.Graph, cs []*cluster.Cluster, opt hap.Options) ([]*hap.Plan, error) {
+			plans := make([]*hap.Plan, len(cs))
+			for i, c := range cs[:len(cs)-1] { // last cluster "starves"
+				p, err := hap.NewPlanner(c, hap.WithOptions(opt)).Plan(ctx, gr)
+				if err != nil {
+					return nil, err
+				}
+				plans[i] = p
+			}
+			return plans, failErr
+		},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	clusters := []*cluster.Cluster{
+		testCluster(),
+		cluster.FromGPUs(cluster.DefaultNetwork(),
+			cluster.MachineSpec{Type: cluster.A100, GPUs: 1},
+			cluster.MachineSpec{Type: cluster.P100, GPUs: 1}),
+	}
+
+	resp := postPath(t, srv.URL, "/v1/synthesize/batch", batchBody(t, g, clusters, RequestOptions{}), "")
+	raw := readAll(t, resp)
+	var env ErrorEnvelope
+	if resp.StatusCode != http.StatusUnprocessableEntity || json.Unmarshal(raw, &env) != nil || env.Code != CodeSynthesisFailed {
+		t.Fatalf("partial batch = %d %q, want 422 synthesis_failed envelope", resp.StatusCode, raw)
+	}
+
+	// The cluster that completed is cached: a single request hits.
+	resp = postPath(t, srv.URL, "/v1/synthesize", requestBody(t, testGraph(t), clusters[0], RequestOptions{}), "")
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-HAP-Cache") != "hit" {
+		t.Errorf("completed cluster after failed batch: status %d cache %q, want 200/hit",
+			resp.StatusCode, resp.Header.Get("X-HAP-Cache"))
+	}
+}
+
+// TestCachePersistence: with CacheDir set, plans survive a server restart —
+// the second server reports the restored count and serves hits without
+// re-synthesizing.
+func TestCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	syntheses := 0
+	count := func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+		syntheses++
+		return hap.NewPlanner(c, hap.WithOptions(opt)).Plan(ctx, g)
+	}
+
+	s1 := New(Config{CacheDir: dir, Synthesize: count})
+	srv1 := httptest.NewServer(s1.Handler())
+	c := testCluster()
+	body := requestBody(t, testGraph(t), c, RequestOptions{})
+	status, _, plan1 := post(t, srv1.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("first server: status %d: %s", status, plan1)
+	}
+	srv1.Close()
+	if syntheses != 1 {
+		t.Fatalf("first server ran %d syntheses, want 1", syntheses)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir holds %d files (err %v), want 1", len(entries), err)
+	}
+
+	// A fresh server over the same directory restores the plan…
+	s2 := New(Config{CacheDir: dir, Synthesize: count})
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	if st := s2.Stats(); st.CacheRestored != 1 || st.CacheEntries != 1 {
+		t.Errorf("restarted server stats = restored %d, entries %d, want 1/1", st.CacheRestored, st.CacheEntries)
+	}
+	status, cacheHdr, plan2 := post(t, srv2.URL, body)
+	if status != http.StatusOK || cacheHdr != "hit" {
+		t.Fatalf("restarted server: status %d cache %q, want 200/hit", status, cacheHdr)
+	}
+	if syntheses != 1 {
+		t.Errorf("restarted server re-synthesized (%d total)", syntheses)
+	}
+	if !bytes.Equal(plan1, plan2) {
+		t.Error("restored plan differs from the original")
+	}
+
+	// …including the binary form for content negotiation.
+	resp := postPath(t, srv2.URL, "/v1/synthesize", body, BinaryPlanContentType)
+	bin := readAll(t, resp)
+	if ct := resp.Header.Get("Content-Type"); ct != BinaryPlanContentType {
+		t.Fatalf("restored binary Content-Type = %q", ct)
+	}
+	if _, err := hap.ReadProgramBinary(bytes.NewReader(bin), testGraph(t)); err != nil {
+		t.Errorf("restored binary plan: %v", err)
+	}
+
+	// /stats and /metrics surface the restored count.
+	if st := getStats(t, srv2.URL); st.CacheRestored != 1 {
+		t.Errorf("/stats cache_restored = %d, want 1", st.CacheRestored)
+	}
+}
+
+// TestMetricsV2 checks the protocol-version info metric and the
+// per-endpoint request counters in the exposition.
+func TestMetricsV2(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	body := requestBody(t, testGraph(t), testCluster(), RequestOptions{})
+	if status, _, b := post(t, srv.URL, body); status != http.StatusOK { // legacy
+		t.Fatalf("legacy request: %d: %s", status, b)
+	}
+	resp := postPath(t, srv.URL, "/v1/synthesize", body, "") // v1 (cache hit)
+	readAll(t, resp)
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAll(t, mresp))
+	for _, want := range []string{
+		`hap_serve_protocol_info{version="v2"} 1`,
+		`hap_serve_requests_by_endpoint_total{endpoint="legacy"} 1`,
+		`hap_serve_requests_by_endpoint_total{endpoint="v1"} 1`,
+		`hap_serve_requests_by_endpoint_total{endpoint="v1_batch"} 0`,
+		"hap_serve_requests_total 2",
+		"# TYPE hap_serve_cache_restored gauge",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}

@@ -1,18 +1,54 @@
 // Single-flight de-duplication: concurrent requests for the same key run the
 // underlying function once and share its result. A minimal local take on
-// golang.org/x/sync/singleflight (the module is dependency-free).
+// golang.org/x/sync/singleflight (the module is dependency-free), extended
+// with reference-counted cancellation: the synthesis runs under a context
+// that stays alive while ANY participating request does, and is cancelled
+// only when the last interested client disconnects. One impatient client
+// must not kill the synthesis nine patient ones are waiting for — that would
+// break the daemon's one-synthesis-per-fleet guarantee exactly under fleet
+// load — but when everybody is gone, the work aborts promptly.
 
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	val cachedPlan
-	err error
+	done chan struct{} // closed when fn has finished and val/err are set
+	val  cachedPlan
+	err  error
+
+	mu     sync.Mutex
+	refs   int
+	cancel context.CancelFunc // cancels the flight context
+}
+
+// attach registers a caller whose request context keeps the flight alive,
+// returning the matching detach. The last detach — or the last caller's ctx
+// dying — cancels the flight context.
+func (c *flightCall) attach(ctx context.Context) (detach func()) {
+	c.mu.Lock()
+	c.refs++
+	c.mu.Unlock()
+	stop := context.AfterFunc(ctx, c.release)
+	return func() {
+		if stop() {
+			c.release()
+		}
+	}
+}
+
+func (c *flightCall) release() {
+	c.mu.Lock()
+	c.refs--
+	last := c.refs == 0
+	c.mu.Unlock()
+	if last {
+		c.cancel()
+	}
 }
 
 type flightGroup struct {
@@ -22,36 +58,48 @@ type flightGroup struct {
 
 // do runs fn once per key at a time: the first caller executes it, concurrent
 // duplicates block and receive the same result. shared reports whether this
-// caller piggybacked on another's execution. A panic in fn is converted to an
-// error for every caller — the daemon accepts arbitrary client graphs, and a
-// panicking synthesis must not wedge the key forever (waiters blocked on a
-// WaitGroup that never completes).
-func (g *flightGroup) do(key string, fn func() (cachedPlan, error)) (val cachedPlan, err error, shared bool) {
+// caller piggybacked on another's execution. fn receives the flight context —
+// alive while any participant's ctx is — rather than any single request's.
+// A waiter whose own ctx dies returns its ctx error immediately (and stops
+// propping the flight up); the flight itself keeps running for the rest.
+// A panic in fn is converted to an error for every caller — the daemon
+// accepts arbitrary client graphs, and a panicking synthesis must not wedge
+// the key forever (waiters blocked on a channel that never closes).
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (cachedPlan, error)) (val cachedPlan, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*flightCall{}
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		detach := c.attach(ctx)
+		defer detach()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return cachedPlan{}, ctx.Err(), true
+		}
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
+	fctx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), cancel: cancel}
 	g.m[key] = c
 	g.mu.Unlock()
 
+	detach := c.attach(ctx)
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				c.val, c.err = cachedPlan{}, fmt.Errorf("synthesis panicked: %v", r)
 			}
-			c.wg.Done()
+			close(c.done)
 			g.mu.Lock()
 			delete(g.m, key)
 			g.mu.Unlock()
 		}()
-		c.val, c.err = fn()
+		c.val, c.err = fn(fctx)
 	}()
+	detach()
+	cancel() // idempotent; frees the flight context's resources
 	return c.val, c.err, false
 }

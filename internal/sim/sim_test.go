@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func plan(t *testing.T) (*cluster.Cluster, [][]float64, *Result) {
 		cluster.MachineSpec{Type: cluster.P100, GPUs: 1})
 	g := models.Training(models.MLP(256, 64, 128, 10))
 	b := cost.UniformRatios(1, c.ProportionalRatios())
-	p, _, err := synth.Synthesize(g, theory.New(g), c, b, synth.Options{})
+	p, _, err := synth.Synthesize(context.Background(), g, theory.New(g), c, b, synth.Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -33,7 +34,7 @@ func TestSimulatedTimeExceedsAnalytic(t *testing.T) {
 		cluster.MachineSpec{Type: cluster.P100, GPUs: 1})
 	g := models.Training(models.MLP(256, 64, 128, 10))
 	b := cost.UniformRatios(1, c.ProportionalRatios())
-	p, stats, err := synth.Synthesize(g, theory.New(g), c, b, synth.Options{})
+	p, stats, err := synth.Synthesize(context.Background(), g, theory.New(g), c, b, synth.Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}

@@ -5,6 +5,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -25,7 +26,7 @@ func benchSynthesize(b *testing.B, model models.PaperModel) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := Synthesize(g, th, c, ratios, opt); err != nil {
+				if _, _, err := Synthesize(context.Background(), g, th, c, ratios, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -31,6 +31,7 @@ package synth
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 
@@ -342,11 +343,16 @@ type Synthesizer struct {
 	b     [][]float64
 	opt   Options
 	words int
+	// ctx is the Run context: cancellation (client disconnect, caller
+	// timeout) latches expired via a watcher goroutine, so every worker
+	// aborts between candidate batches without polling ctx on the hot path.
+	ctx context.Context
 	// deadline is the wall-clock cutoff derived from Options.TimeBudget
 	// (zero = unlimited), set at the start of Run.
 	deadline time.Time
-	// expired latches a TimeBudget violation so every beam worker observes
-	// it between candidate batches (prompt cancellation, see expiredNow).
+	// expired latches a TimeBudget violation or a ctx cancellation so every
+	// beam worker observes it between candidate batches (prompt
+	// cancellation, see expiredNow).
 	expired atomic.Bool
 	// totalFlopsPerSec is the admissible-heuristic denominator.
 	totalFlopsPerSec float64
@@ -437,9 +443,10 @@ func (sy *Synthesizer) workers() int {
 	return w
 }
 
-// Synthesize runs the search and returns the best program found.
-func Synthesize(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]float64, opt Options) (*dist.Program, Stats, error) {
-	return New(g, th, c, b, opt).Run()
+// Synthesize runs the search under ctx and returns the best program found.
+// Cancelling ctx aborts an in-flight search within one candidate batch.
+func Synthesize(ctx context.Context, g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]float64, opt Options) (*dist.Program, Stats, error) {
+	return New(g, th, c, b, opt).Run(ctx)
 }
 
 // rootState builds the empty-program search root.
@@ -466,14 +473,36 @@ func (sy *Synthesizer) rootState() *state {
 	return root
 }
 
-// Run executes the search: exact A* (Fig. 10) when BeamWidth is zero, a
-// level-synchronized (optionally multi-core) beam search otherwise.
-func (sy *Synthesizer) Run() (*dist.Program, Stats, error) {
+// Run executes the search under ctx: exact A* (Fig. 10) when BeamWidth is
+// zero, a level-synchronized (optionally multi-core) beam search otherwise.
+// ctx cancellation and TimeBudget expiry share the same latch, so both abort
+// the search within one candidate batch.
+func (sy *Synthesizer) Run(ctx context.Context) (*dist.Program, Stats, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sy.ctx = ctx
 	if sy.opt.TimeBudget > 0 {
 		sy.deadline = start.Add(sy.opt.TimeBudget)
 	}
-	sy.expired.Store(false)
+	// An already-cancelled context must abort deterministically, not race
+	// the watcher goroutine against a fast search.
+	sy.expired.Store(ctx.Err() != nil)
+	// The watcher turns ctx cancellation into the expired latch the search
+	// already polls, keeping ctx.Err() (a mutex acquisition in the common
+	// cancelCtx case) off the per-expansion hot path.
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				sy.expired.Store(true)
+			case <-stop:
+			}
+		}()
+	}
 	root := sy.rootState()
 
 	var best *state
@@ -809,24 +838,29 @@ func (sy *Synthesizer) runBeam(root *state) (*state, Stats, error) {
 	return best, stats, nil
 }
 
-// overBudget reports a wall-clock budget violation. Checked once per
-// expansion — the search's unit of real work, whose cost dwarfs the clock
-// read — so a search never overshoots its budget by more than one expansion.
+// overBudget reports a wall-clock budget violation or a ctx cancellation.
+// Checked once per expansion — the search's unit of real work, whose cost
+// dwarfs the latch read — so a search never overshoots its budget by more
+// than one expansion.
 func (sy *Synthesizer) overBudget(expansions int) error {
 	if !sy.expiredNow() {
 		return nil
+	}
+	if err := sy.ctx.Err(); err != nil {
+		return fmt.Errorf("synth: search aborted after %d expansions: %w", expansions, err)
 	}
 	return fmt.Errorf("synth: exceeded %v time budget after %d expansions", sy.opt.TimeBudget, expansions)
 }
 
 // expiredNow reports (and latches, so concurrent workers short-circuit
-// without re-reading the clock) whether the TimeBudget deadline has passed.
+// without re-reading the clock) whether the TimeBudget deadline has passed
+// or the Run context was cancelled (the watcher goroutine sets the latch).
 func (sy *Synthesizer) expiredNow() bool {
-	if sy.deadline.IsZero() {
-		return false
-	}
 	if sy.expired.Load() {
 		return true
+	}
+	if sy.deadline.IsZero() {
+		return false
 	}
 	if time.Now().After(sy.deadline) {
 		sy.expired.Store(true)

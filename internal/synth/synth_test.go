@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -38,7 +40,7 @@ func fig11Graph() *graph.Graph {
 func TestSearchExampleFig11(t *testing.T) {
 	g := fig11Graph()
 	c := twoDevices()
-	p, stats, err := Synthesize(g, theory.New(g), c, ratios(c), Options{})
+	p, stats, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -81,7 +83,7 @@ func mlpTraining() *graph.Graph {
 func TestSynthesizeTrainingGradientsMatchPlacements(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
-	p, _, err := Synthesize(g, theory.New(g), c, ratios(c), Options{})
+	p, _, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -120,7 +122,7 @@ func TestSynthesizeTrainingGradientsMatchPlacements(t *testing.T) {
 func TestSumLossAcceptedPendingReduce(t *testing.T) {
 	g := fig11Graph()
 	c := twoDevices()
-	p, _, err := Synthesize(g, theory.New(g), c, ratios(c), Options{})
+	p, _, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -133,7 +135,7 @@ func TestSynthesizedProgramComputesEveryRequiredNode(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
 	th := theory.New(g)
-	p, _, err := Synthesize(g, th, c, ratios(c), Options{})
+	p, _, err := Synthesize(context.Background(), g, th, c, ratios(c), Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -154,7 +156,7 @@ func TestSynthesizedProgramComputesEveryRequiredNode(t *testing.T) {
 func TestSynthesizeRespectsTopologicalOrder(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
-	p, _, err := Synthesize(g, theory.New(g), c, ratios(c), Options{})
+	p, _, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -175,8 +177,8 @@ func TestSynthesizeRespectsTopologicalOrder(t *testing.T) {
 func TestSynthesizeDeterministic(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
-	p1, _, err1 := Synthesize(g, theory.New(g), c, ratios(c), Options{})
-	p2, _, err2 := Synthesize(g, theory.New(g), c, ratios(c), Options{})
+	p1, _, err1 := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
+	p2, _, err2 := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
 	if err1 != nil || err2 != nil {
 		t.Fatalf("Synthesize: %v / %v", err1, err2)
 	}
@@ -188,7 +190,7 @@ func TestSynthesizeDeterministic(t *testing.T) {
 func TestDisableGroupedBroadcast(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
-	p, _, err := Synthesize(g, theory.New(g), c, ratios(c), Options{DisableGroupedBroadcast: true})
+	p, _, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{DisableGroupedBroadcast: true})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -210,7 +212,7 @@ func TestBeamSearchFindsProgramOnDeeperModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := twoDevices()
-	p, stats, err := Synthesize(g, theory.New(g), c, ratios(c), Options{BeamWidth: 24})
+	p, stats, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{BeamWidth: 24})
 	if err != nil {
 		t.Fatalf("Synthesize: %v (%d expansions)", err, stats.Expansions)
 	}
@@ -222,11 +224,11 @@ func TestBeamSearchFindsProgramOnDeeperModel(t *testing.T) {
 func TestExactBeatsOrMatchesBeam(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
-	_, exact, err := Synthesize(g, theory.New(g), c, ratios(c), Options{})
+	_, exact, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
 	if err != nil {
 		t.Fatalf("exact: %v", err)
 	}
-	_, beam, err := Synthesize(g, theory.New(g), c, ratios(c), Options{BeamWidth: 8})
+	_, beam, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{BeamWidth: 8})
 	if err != nil {
 		t.Fatalf("beam: %v", err)
 	}
@@ -238,7 +240,7 @@ func TestExactBeatsOrMatchesBeam(t *testing.T) {
 func TestLeafFusionPlacesLeavesOnce(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
-	p, _, err := Synthesize(g, theory.New(g), c, ratios(c), Options{})
+	p, _, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -258,7 +260,7 @@ func TestLeafFusionPlacesLeavesOnce(t *testing.T) {
 func TestNoRepeatedCommunicationOfSameTensor(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
-	p, _, err := Synthesize(g, theory.New(g), c, ratios(c), Options{})
+	p, _, err := Synthesize(context.Background(), g, theory.New(g), c, ratios(c), Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -282,7 +284,7 @@ func TestSearchCostMatchesCostModel(t *testing.T) {
 	g := mlpTraining()
 	c := twoDevices()
 	b := ratios(c)
-	p, stats, err := Synthesize(g, theory.New(g), c, b, Options{})
+	p, stats, err := Synthesize(context.Background(), g, theory.New(g), c, b, Options{})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -308,19 +310,82 @@ func TestTimeBudgetAbortsSearch(t *testing.T) {
 		"beam":  {TimeBudget: time.Nanosecond, BeamWidth: 4},
 	} {
 		t.Run(name, func(t *testing.T) {
-			_, _, err := Synthesize(g, th, c, ratios(c), opt)
+			_, _, err := Synthesize(context.Background(), g, th, c, ratios(c), opt)
 			if err == nil || !strings.Contains(err.Error(), "time budget") {
 				t.Fatalf("err = %v, want a time-budget violation", err)
 			}
 		})
 	}
 	// A generous budget must not change the result.
-	p, _, err := Synthesize(g, th, c, ratios(c), Options{TimeBudget: time.Minute})
+	p, _, err := Synthesize(context.Background(), g, th, c, ratios(c), Options{TimeBudget: time.Minute})
 	if err != nil {
 		t.Fatalf("generous budget failed: %v", err)
 	}
 	if len(p.Instrs) == 0 {
 		t.Fatal("generous budget produced an empty program")
+	}
+}
+
+// A cancelled context must abort both search modes with an error that wraps
+// context.Canceled, and a live context must not perturb the result.
+func TestContextCancelAbortsSearch(t *testing.T) {
+	g := fig11Graph()
+	c := twoDevices()
+	th := theory.New(g)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, opt := range map[string]Options{
+		"exact": {},
+		"beam":  {BeamWidth: 4},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, _, err := Synthesize(cancelled, g, th, c, ratios(c), opt)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled in the chain", err)
+			}
+		})
+	}
+	p, _, err := Synthesize(context.Background(), g, th, c, ratios(c), Options{})
+	if err != nil {
+		t.Fatalf("live context failed: %v", err)
+	}
+	if len(p.Instrs) == 0 {
+		t.Fatal("live context produced an empty program")
+	}
+}
+
+// Cancellation must propagate to a running parallel beam within roughly one
+// candidate batch — the same promptness contract as TimeBudget expiry, via
+// the same latch.
+func TestContextCancelPropagatesToWorkers(t *testing.T) {
+	g := graph.New()
+	x := g.AddPlaceholder("x", 0, 256, 256)
+	h := x
+	for i := 0; i < 24; i++ {
+		w := g.AddParameter("w", 256, 256)
+		h = g.AddOp(graph.ReLU, g.AddOp(graph.MatMul, h, w))
+	}
+	g.SetLoss(g.AddOp(graph.Sum, h))
+	if err := autodiff.Backward(g); err != nil {
+		t.Fatal(err)
+	}
+	c := twoDevices()
+	th := theory.New(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := Synthesize(ctx, g, th, c, ratios(c), Options{BeamWidth: 64, Workers: 4})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	// Generous bound: a full search here takes seconds; the workers check
+	// the shared latch between candidate batches.
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled search returned after %v, want prompt abort", elapsed)
 	}
 }
 
@@ -347,12 +412,12 @@ func TestParallelBeamMatchesSerial(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			c := twoDevices()
 			th := theory.New(g)
-			ref, refStats, err := Synthesize(g, th, c, ratios(c), Options{BeamWidth: 16, Workers: 1})
+			ref, refStats, err := Synthesize(context.Background(), g, th, c, ratios(c), Options{BeamWidth: 16, Workers: 1})
 			if err != nil {
 				t.Fatalf("serial: %v", err)
 			}
 			for _, workers := range []int{2, 4, 8} {
-				p, stats, err := Synthesize(g, th, c, ratios(c), Options{BeamWidth: 16, Workers: workers})
+				p, stats, err := Synthesize(context.Background(), g, th, c, ratios(c), Options{BeamWidth: 16, Workers: workers})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -386,7 +451,7 @@ func TestParallelBudgetPropagatesToWorkers(t *testing.T) {
 	th := theory.New(g)
 	budget := 20 * time.Millisecond
 	start := time.Now()
-	_, _, err := Synthesize(g, th, c, ratios(c), Options{BeamWidth: 64, Workers: 4, TimeBudget: budget})
+	_, _, err := Synthesize(context.Background(), g, th, c, ratios(c), Options{BeamWidth: 64, Workers: 4, TimeBudget: budget})
 	elapsed := time.Since(start)
 	if err == nil || !strings.Contains(err.Error(), "time budget") {
 		t.Fatalf("err = %v, want a time-budget violation", err)

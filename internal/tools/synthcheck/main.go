@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,7 +18,7 @@ func main() {
 		c := cluster.PaperHeterogeneous(1)
 		b := cost.UniformRatios(1, c.ProportionalRatios())
 		start := time.Now()
-		p, stats, err := synth.Synthesize(g, theory.New(g), c, b, synth.Auto())
+		p, stats, err := synth.Synthesize(context.Background(), g, theory.New(g), c, b, synth.Auto())
 		if err != nil {
 			fmt.Printf("%-10s nodes=%4d ERR after %v: %v\n", m, g.NumNodes(), time.Since(start), err)
 			continue

@@ -1,0 +1,211 @@
+package hap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hap/internal/dist"
+	"hap/internal/graph"
+	"hap/internal/models"
+	"hap/internal/theory"
+)
+
+// The Planner is the primary API; Parallelize is a shim over it. Both must
+// emit byte-identical plans for the same inputs.
+func TestPlannerMatchesParallelize(t *testing.T) {
+	c := testCluster()
+	legacy, err := Parallelize(testGraph(t), c, Options{Segments: 2})
+	if err != nil {
+		t.Fatalf("Parallelize: %v", err)
+	}
+	plan, err := NewPlanner(c, WithSegments(2)).Plan(context.Background(), testGraph(t))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if plan.Program.String() != legacy.Program.String() {
+		t.Errorf("Planner emitted a different program than Parallelize:\n%s\nvs\n%s", plan.Program, legacy.Program)
+	}
+	if plan.Cost != legacy.Cost {
+		t.Errorf("Planner cost %v != Parallelize cost %v", plan.Cost, legacy.Cost)
+	}
+	if err := Verify(plan, c.M(), 3); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// PlanBatch over k clusters must build the graph theory exactly once (the
+// theory depends only on the graph) and emit, per cluster, the same plan a
+// standalone Plan call would.
+func TestPlanBatchSharesTheory(t *testing.T) {
+	clusters := []*Cluster{
+		testCluster(),
+		PerGPU(MachineSpec{Type: A100, GPUs: 1}, MachineSpec{Type: P100, GPUs: 1}),
+		PerGPU(MachineSpec{Type: V100, GPUs: 2}, MachineSpec{Type: V100, GPUs: 1}),
+	}
+	p := NewPlanner(clusters[0])
+
+	before := theory.Builds()
+	plans, err := p.PlanBatch(context.Background(), testGraph(t), clusters...)
+	if err != nil {
+		t.Fatalf("PlanBatch: %v", err)
+	}
+	if built := theory.Builds() - before; built != 1 {
+		t.Errorf("batch over %d clusters built the theory %d times, want once", len(clusters), built)
+	}
+	if len(plans) != len(clusters) {
+		t.Fatalf("PlanBatch returned %d plans for %d clusters", len(plans), len(clusters))
+	}
+	for i, c := range clusters {
+		solo, err := NewPlanner(c).Plan(context.Background(), testGraph(t))
+		if err != nil {
+			t.Fatalf("solo plan for cluster %d: %v", i, err)
+		}
+		if plans[i].Program.String() != solo.Program.String() {
+			t.Errorf("cluster %d: batch plan differs from solo plan", i)
+		}
+		if err := Verify(plans[i], c.M(), int64(11+i)); err != nil {
+			t.Errorf("cluster %d: Verify: %v", i, err)
+		}
+	}
+}
+
+// With no extra clusters, PlanBatch plans the planner's own cluster.
+func TestPlanBatchDefaultsToOwnCluster(t *testing.T) {
+	c := testCluster()
+	plans, err := NewPlanner(c).PlanBatch(context.Background(), testGraph(t))
+	if err != nil {
+		t.Fatalf("PlanBatch: %v", err)
+	}
+	if len(plans) != 1 || len(plans[0].Program.Instrs) == 0 {
+		t.Fatalf("PlanBatch() = %d plans, want the planner's own cluster planned", len(plans))
+	}
+}
+
+// cancelGraph is a model big enough that its synthesis runs for seconds —
+// room to observe a mid-search cancellation.
+func cancelGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return models.Build(models.ModelBERTBase, 2)
+}
+
+// Cancelling the context must abort an in-flight synthesis within one
+// candidate batch — far sooner than the search would finish on its own.
+func TestPlanContextCancelAbortsSearch(t *testing.T) {
+	g := cancelGraph(t)
+	c := testCluster()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewPlanner(c).Plan(ctx, g)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled Plan returned a plan, want an error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+	// Generous bound: workers re-check the cancellation latch between
+	// candidate batches, so the search must stop within ~one beam level.
+	// Uncancelled, this synthesis runs for seconds.
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled Plan returned after %v, want prompt abort", elapsed)
+	}
+}
+
+// WithTimeBudget is context.WithTimeout sugar with the loop's graceful
+// degradation intact: an expired budget with no completed plan errors, a
+// generous one plans normally.
+func TestPlannerTimeBudget(t *testing.T) {
+	g := testGraph(t)
+	c := testCluster()
+	if _, err := NewPlanner(c, WithTimeBudget(time.Nanosecond)).Plan(context.Background(), g); err == nil {
+		t.Error("nanosecond budget returned a plan, want an error")
+	} else if errors.Is(err, context.Canceled) {
+		t.Errorf("nanosecond budget reported cancellation (%v), want budget expiry", err)
+	}
+	plan, err := NewPlanner(c, WithTimeBudget(time.Minute)).Plan(context.Background(), g)
+	if err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+	if len(plan.Program.Instrs) == 0 {
+		t.Fatal("generous budget produced an empty program")
+	}
+}
+
+// The functional options must lower onto the same Options struct the legacy
+// API uses.
+func TestFunctionalOptions(t *testing.T) {
+	var got Options
+	for _, o := range []Option{
+		WithSegments(3), WithMaxIterations(2), WithExactSearch(),
+		WithoutPasses(), WithTimeBudget(time.Second), WithWorkers(4),
+	} {
+		o(&got)
+	}
+	want := Options{Segments: 3, MaxIterations: 2, ExactSearch: true,
+		DisablePasses: true, TimeBudget: time.Second, Workers: 4}
+	if got != want {
+		t.Errorf("options = %+v, want %+v", got, want)
+	}
+	var bridged Options
+	WithOptions(want)(&bridged)
+	if bridged != want {
+		t.Errorf("WithOptions = %+v, want %+v", bridged, want)
+	}
+}
+
+// The binary plan payload must round-trip the full plan — program, ratios,
+// segment assignment, cost — against a freshly rebuilt graph, exactly like
+// the JSON form.
+func TestBinaryPlanRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	c := testCluster()
+	plan, err := Parallelize(g, c, Options{Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := plan.WriteProgramBinary(&bin); err != nil {
+		t.Fatalf("WriteProgramBinary: %v", err)
+	}
+
+	g2 := testGraph(t)
+	back, err := ReadProgramBinary(bytes.NewReader(bin.Bytes()), g2)
+	if err != nil {
+		t.Fatalf("ReadProgramBinary: %v", err)
+	}
+	if back.Program.String() != plan.Program.String() {
+		t.Error("binary round-trip changed the program")
+	}
+	if len(back.Ratios) != len(plan.Ratios) || back.Cost != plan.Cost {
+		t.Errorf("binary round-trip changed ratios/cost: %v/%v vs %v/%v",
+			back.Ratios, back.Cost, plan.Ratios, plan.Cost)
+	}
+	if err := Verify(back, c.M(), 21); err != nil {
+		t.Errorf("Verify after binary round-trip: %v", err)
+	}
+
+	// The program section is a plain dist binary program: DecodeBinary
+	// consumes it directly and ignores the trailer.
+	prog, err := dist.DecodeBinary(bytes.NewReader(bin.Bytes()), g2)
+	if err != nil {
+		t.Fatalf("DecodeBinary on the raw payload: %v", err)
+	}
+	if prog.String() != plan.Program.String() {
+		t.Error("DecodeBinary on the raw payload yielded a different program")
+	}
+
+	// Corruption in the fixed suffix must fail loudly, not misparse.
+	bad := append([]byte(nil), bin.Bytes()...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := ReadProgramBinary(bytes.NewReader(bad), testGraph(t)); err == nil || !strings.Contains(err.Error(), "suffix") {
+		t.Errorf("corrupt suffix: err = %v, want a suffix complaint", err)
+	}
+}
