@@ -69,6 +69,7 @@ type Client struct {
 	base      string
 	http      *http.Client
 	jsonPlans bool
+	retry     retryPolicy
 }
 
 // New returns a client for the daemon at base (e.g. "http://host:8080").
@@ -118,23 +119,27 @@ func encodeCluster(c *hap.Cluster) (json.RawMessage, error) {
 	return b.Bytes(), nil
 }
 
-// post sends one JSON body and returns the raw response. Non-2xx responses
-// are decoded into *APIError (with a plain-text fallback for proxies and the
+// post sends one JSON body and returns the raw response, retrying transient
+// failures when WithRetry is configured (the body is re-sent from the
+// marshalled bytes, so every attempt is identical). Non-2xx responses are
+// decoded into *APIError (with a plain-text fallback for proxies and the
 // legacy endpoint).
 func (c *Client) post(ctx context.Context, path string, body any, accept string) (*http.Response, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if accept != "" {
-		req.Header.Set("Accept", accept)
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		return req, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -232,11 +237,13 @@ func (c *Client) SynthesizeBatch(ctx context.Context, g *hap.Graph, clusters []*
 
 // Healthz probes the daemon and returns its reported protocol version.
 func (c *Client) Healthz(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return "", fmt.Errorf("client: %w", err)
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		return req, nil
+	})
 	if err != nil {
 		return "", fmt.Errorf("client: %w", err)
 	}

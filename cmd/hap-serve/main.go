@@ -6,14 +6,24 @@
 // Usage:
 //
 //	hap-serve [-addr :8080] [-cache-entries 1024] [-cache-bytes 268435456]
-//	          [-synth-budget 60s] [-cache-dir /var/lib/hap/plans]
+//	          [-synth-budget 60s] [-cache-dir /var/lib/hap/plans] [-cache-ttl 0]
+//	          [-self URL] [-peers URL,URL] [-peers-file PATH] [-peers-poll 10s]
+//	          [-replicas 2] [-probe-interval 5s] [-warmup]
 //
 // Endpoints (wire protocol v2): POST /v1/synthesize, POST
-// /v1/synthesize/batch, the deprecated legacy POST /synthesize, GET
-// /healthz, GET /stats, GET /metrics (Prometheus text format). With
-// -cache-dir, cached plans are written through to disk and restored on the
-// next boot. See internal/serve for the wire format and README for a worked
-// example.
+// /v1/synthesize/batch, the deprecated legacy POST /synthesize, GET/POST
+// /v1/fleet/entries, GET /healthz, GET /stats, GET /metrics (Prometheus
+// text format). With -cache-dir, cached plans are written through to disk
+// and restored on the next boot (oldest first, preserving LRU order);
+// -cache-ttl expires aged plans so the directory cannot grow unbounded.
+//
+// Fleet mode: -self names this node's advertise URL and -peers/-peers-file
+// the other members. Request fingerprints are consistent-hash routed to an
+// owner node, misses proxy to the owner (so a fleet-wide thundering herd
+// synthesizes exactly once), filled entries replicate to -replicas nodes,
+// and a booting node warms its cache from a peer. The peers file is
+// re-read on SIGHUP and polled every -peers-poll. See internal/serve and
+// README "Running a fleet".
 package main
 
 import (
@@ -24,9 +34,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hap/internal/fleet"
 	"hap/internal/serve"
 )
 
@@ -40,16 +52,104 @@ func main() {
 		"beam-search worker goroutines per synthesis (0 = GOMAXPROCS); plans are byte-identical for any value")
 	cacheDir := flag.String("cache-dir", "",
 		"write cached plans through to this directory and restore them on boot (empty = memory only)")
+	cacheTTL := flag.Duration("cache-ttl", 0,
+		"expire cached plans (and their persisted files) older than this age (0 = never)")
+	self := flag.String("self", "",
+		"this node's advertise URL for fleet mode, e.g. http://10.0.0.1:8080 (empty = standalone)")
+	peers := flag.String("peers", "",
+		"comma-separated peer URLs forming the fleet (combined with -peers-file)")
+	peersFile := flag.String("peers-file", "",
+		"file with one peer URL per line (# comments); re-read on SIGHUP and by -peers-poll")
+	peersPoll := flag.Duration("peers-poll", 10*time.Second,
+		"poll the peers file for changes at this interval (0 = SIGHUP only)")
+	replicas := flag.Int("replicas", fleet.DefaultReplicas,
+		"total copies of each cached plan across the fleet, owner included")
+	probeInterval := flag.Duration("probe-interval", 5*time.Second,
+		"probe peer /healthz at this interval (0 = mark-down on proxy failure only)")
+	warmup := flag.Bool("warmup", true,
+		"on boot, stream cached entries from the first reachable peer (fleet mode only)")
 	flag.Parse()
 
 	synthBudget := *budget
 	if synthBudget == 0 {
 		synthBudget = -1 // Config treats 0 as "use default"; negative = unlimited
 	}
-	s := serve.New(serve.Config{MaxCacheEntries: *entries, MaxCacheBytes: *bytes, SynthTimeBudget: synthBudget, SynthWorkers: *workers, CacheDir: *cacheDir})
+
+	var fl *fleet.Fleet
+	if *self != "" {
+		var static []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				static = append(static, p)
+			}
+		}
+		var err error
+		fl, err = fleet.New(fleet.Config{
+			Self:      *self,
+			Peers:     static,
+			PeersFile: *peersFile,
+			Replicas:  *replicas,
+		})
+		if err != nil {
+			log.Fatalf("hap-serve: %v", err)
+		}
+		fl.Start(*peersPoll, *probeInterval)
+		defer fl.Stop()
+		log.Printf("hap-serve: fleet mode: self=%s members=%v replicas=%d", fl.Self(), fl.Members.Peers(), fl.ReplicaCount())
+	} else if *peers != "" || *peersFile != "" {
+		log.Fatal("hap-serve: -peers/-peers-file require -self (this node's advertise URL)")
+	}
+
+	s := serve.New(serve.Config{
+		MaxCacheEntries: *entries,
+		MaxCacheBytes:   *bytes,
+		SynthTimeBudget: synthBudget,
+		SynthWorkers:    *workers,
+		CacheDir:        *cacheDir,
+		CacheTTL:        *cacheTTL,
+		Fleet:           fl,
+	})
+	defer s.Close()
 	if *cacheDir != "" {
 		log.Printf("hap-serve: restored %d cached plans from %s", s.Stats().CacheRestored, *cacheDir)
 	}
+
+	// Warm up from a peer before accepting traffic: every entry streamed in
+	// is a synthesis this node will not re-pay. Best-effort — a partial
+	// transfer keeps what arrived, a fleet of one just starts cold.
+	if fl != nil && *warmup {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		n, err := s.WarmFrom(ctx, fl.Members.Peers())
+		cancel()
+		switch {
+		case err != nil && n == 0:
+			log.Printf("hap-serve: warm-up: no peer reachable (%v); starting cold", err)
+		case err != nil:
+			log.Printf("hap-serve: warm-up: %d plans (stream interrupted: %v)", n, err)
+		default:
+			log.Printf("hap-serve: warm-up: %d plans", n)
+		}
+	}
+
+	// SIGHUP re-reads the peers file; SIGINT/SIGTERM shut down gracefully.
+	if fl != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				changed, err := fl.Members.Reload()
+				switch {
+				case err != nil:
+					log.Printf("hap-serve: SIGHUP reload: %v", err)
+				case changed:
+					log.Printf("hap-serve: SIGHUP reload: members now %v", fl.Members.Peers())
+				default:
+					log.Print("hap-serve: SIGHUP reload: membership unchanged")
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

@@ -1,0 +1,144 @@
+// The intra-fleet HTTP client: request forwarding (proxy-on-miss), entry
+// replication pushes, and warm-up entry streaming. All calls speak the
+// daemon's own wire surface — a fleet node is just another HTTP client of
+// its peers, so there is no second RPC stack to operate or secure
+// separately.
+
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Wire headers of the fleet layer.
+const (
+	// ForwardHeader marks an intra-fleet forwarded request; its value is the
+	// forwarding node's advertise URL. A node receiving it serves locally —
+	// never re-forwards — so divergent ring views during a membership reload
+	// cannot create proxy loops.
+	ForwardHeader = "X-HAP-Fleet-Forward"
+	// NodeHeader names the node that actually answered a proxied request,
+	// set on the response for observability and the fleet tests.
+	NodeHeader = "X-HAP-Fleet-Node"
+)
+
+// EntriesPath is the fleet entry-exchange endpoint: GET streams the node's
+// cached entries as NDJSON (warm-up), POST accepts one replicated entry.
+const EntriesPath = "/v1/fleet/entries"
+
+// Entry is one cached plan on the fleet wire, mirroring the daemon's
+// CachedPlan. Payloads travel base64 (encoding/json's []byte form); the
+// plan bytes are restored byte-exact on the receiving node so the content
+// address keeps meaning the same bytes fleet-wide.
+type Entry struct {
+	Key    string `json:"key"`
+	Plan   []byte `json:"plan"`
+	Bin    []byte `json:"bin,omitempty"`
+	Passes string `json:"passes,omitempty"`
+}
+
+// Client is the intra-fleet HTTP client. Safe for concurrent use.
+type Client struct {
+	http *http.Client
+	// stream has no overall timeout: a warm-up transfer of a large cache is
+	// bounded by the caller's ctx, not a fixed per-call deadline.
+	stream *http.Client
+}
+
+// NewClient returns a fleet client whose calls time out after timeout
+// (0 = a 30s default, sized for proxied syntheses, not just cache hits).
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{http: &http.Client{Timeout: timeout}, stream: &http.Client{}}
+}
+
+// Forward relays a plan request to peer, marked with the forwarding node's
+// URL so the peer serves it locally. The caller relays the response (status,
+// plan headers, body) to its own client and must close the body.
+func (c *Client) Forward(ctx context.Context, peer, path string, body []byte, accept, from string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, NormalizeURL(peer)+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, from)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	return c.http.Do(req)
+}
+
+// Replicate pushes one filled entry to peer.
+func (c *Client) Replicate(ctx context.Context, peer string, e Entry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, NormalizeURL(peer)+EntriesPath, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("fleet: replicate to %s: HTTP %d", peer, resp.StatusCode)
+	}
+	return nil
+}
+
+// StreamEntries GETs peer's cached entries and feeds each to fn until the
+// stream ends or fn returns false. Returns how many entries fn accepted.
+// A stream cut mid-transfer returns the count so far plus the error: warm-up
+// is best-effort, and every entry that made it across is an entry the
+// joining node will not re-synthesize. The streaming client must not time
+// out a large cache mid-transfer, so this call honors only ctx, not the
+// client's fixed timeout.
+func (c *Client) StreamEntries(ctx context.Context, peer string, fn func(Entry) bool) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, NormalizeURL(peer)+EntriesPath, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fleet: entries from %s: HTTP %d", peer, resp.StatusCode)
+	}
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20) // model-scale plans are ~100 KB of JSON, base64'd
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return n, fmt.Errorf("fleet: entries from %s: %w", peer, err)
+		}
+		if e.Key == "" || len(e.Plan) == 0 {
+			continue
+		}
+		if !fn(e) {
+			return n, nil
+		}
+		n++
+	}
+	return n, sc.Err()
+}

@@ -1,0 +1,135 @@
+// Peer health tracking. Two signal sources feed the same table: a
+// background prober GETs every peer's /healthz on an interval, and the
+// proxy path reports transport failures immediately (MarkDown) so a dead
+// owner is skipped on the very next request instead of a probe interval
+// later. Unknown peers are presumed healthy — optimism costs one failed
+// proxy attempt; pessimism would black-hole a freshly joined node.
+
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health tracks which peers are believed alive.
+type Health struct {
+	client *http.Client
+
+	mu   sync.Mutex
+	down map[string]time.Time // peer → when it was marked down
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// NewHealth returns a tracker probing with the given timeout per request.
+func NewHealth(probeTimeout time.Duration) *Health {
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * time.Second
+	}
+	return &Health{
+		client: &http.Client{Timeout: probeTimeout},
+		down:   map[string]time.Time{},
+		stopCh: make(chan struct{}),
+	}
+}
+
+// Healthy reports whether peer is believed alive. Peers never heard of are
+// healthy by default.
+func (h *Health) Healthy(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, isDown := h.down[NormalizeURL(peer)]
+	return !isDown
+}
+
+// MarkDown records a peer failure (a failed proxy or probe).
+func (h *Health) MarkDown(peer string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := NormalizeURL(peer)
+	if _, ok := h.down[key]; !ok {
+		h.down[key] = time.Now()
+	}
+}
+
+// MarkUp clears a peer's down state (a successful proxy or probe).
+func (h *Health) MarkUp(peer string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.down, NormalizeURL(peer))
+}
+
+// DownCount returns how many peers are currently marked down.
+func (h *Health) DownCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.down)
+}
+
+// Snapshot returns the peers currently marked down and for how long.
+func (h *Health) Snapshot() map[string]time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]time.Duration, len(h.down))
+	for p, since := range h.down {
+		out[p] = time.Since(since)
+	}
+	return out
+}
+
+// Probe GETs peer's /healthz once and updates the table.
+func (h *Health) Probe(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, NormalizeURL(peer)+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.MarkDown(peer)
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.MarkDown(peer)
+		return fmt.Errorf("fleet: %s healthz: HTTP %d", peer, resp.StatusCode)
+	}
+	h.MarkUp(peer)
+	return nil
+}
+
+// StartProbing probes every peer (except self) on an interval — the
+// recovery path that brings a MarkDown'd peer back once it answers
+// /healthz again. members is read each round so the prober follows
+// membership reloads. Returns a stop function.
+func (h *Health) StartProbing(self string, members func() []string, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				for _, peer := range members() {
+					if NormalizeURL(peer) == NormalizeURL(self) {
+						continue
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), h.client.Timeout)
+					h.Probe(ctx, peer)
+					cancel()
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,136 @@
+// Package fleet makes hap-serve cluster-native: a peer membership list
+// (static seed plus a config file re-read on SIGHUP or by polling), a
+// consistent-hash ring that routes request fingerprints to an owner peer,
+// health tracking fed by a background prober and by proxy failures, and the
+// intra-fleet HTTP client used for proxy-on-miss, entry replication, and
+// cache warm-up. The package is deliberately a thin subsystem over the
+// daemon's existing plan store — routing and replication move bytes between
+// stores; they never synthesize.
+//
+// The routing invariant the serve layer builds on: every node computes the
+// same ring from the same member list, so a request fingerprint has one
+// owner fleet-wide and the owner's single-flight group collapses a
+// fleet-wide thundering herd into exactly one synthesis.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// vnodesPerMember is the number of virtual nodes each member contributes to
+// the ring. 64 keeps the expected load imbalance across a handful of peers
+// in the few-percent range while the ring stays small enough to rebuild on
+// every membership change.
+const vnodesPerMember = 64
+
+// Ring is an immutable consistent-hash ring over peer base URLs. Build with
+// NewRing; membership changes build a new ring (readers swap atomically).
+type Ring struct {
+	hashes  []uint64 // sorted vnode positions
+	owners  []string // owners[i] owns the arc ending at hashes[i]
+	members []string // distinct members, sorted
+}
+
+// NewRing builds a ring over the given members (base URLs). Duplicates and
+// empty strings are dropped; a nil or empty list yields an empty ring whose
+// Owner returns "".
+func NewRing(members []string) *Ring {
+	seen := map[string]bool{}
+	var distinct []string
+	for _, m := range members {
+		m = NormalizeURL(m)
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		distinct = append(distinct, m)
+	}
+	sort.Strings(distinct)
+	r := &Ring{
+		hashes:  make([]uint64, 0, len(distinct)*vnodesPerMember),
+		owners:  make([]string, 0, len(distinct)*vnodesPerMember),
+		members: distinct,
+	}
+	type vnode struct {
+		hash  uint64
+		owner string
+	}
+	vnodes := make([]vnode, 0, cap(r.hashes))
+	for _, m := range distinct {
+		for i := 0; i < vnodesPerMember; i++ {
+			vnodes = append(vnodes, vnode{hash: hash64(m + "#" + strconv.Itoa(i)), owner: m})
+		}
+	}
+	sort.Slice(vnodes, func(i, j int) bool { return vnodes[i].hash < vnodes[j].hash })
+	for _, v := range vnodes {
+		r.hashes = append(r.hashes, v.hash)
+		r.owners = append(r.owners, v.owner)
+	}
+	return r
+}
+
+// Members returns the ring's distinct members, sorted. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the number of distinct members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Owner returns the member that owns key: the first vnode clockwise of the
+// key's hash. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	return r.owners[r.search(key)]
+}
+
+// Successors returns up to n distinct members responsible for key, owner
+// first, then the next distinct members clockwise — the replica set for an
+// n-way replicated entry. n larger than the membership returns everyone.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i, start := 0, r.search(key); len(out) < n && i < len(r.hashes); i++ {
+		owner := r.owners[(start+i)%len(r.hashes)]
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first vnode at or clockwise of the key's
+// hash, wrapping at the top of the ring.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return i
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NormalizeURL canonicalizes a peer base URL for identity comparison:
+// trims whitespace and trailing slashes. "http://a:8080/" and
+// "http://a:8080" are the same node — a peers file with a trailing slash
+// must not split one peer into two ring members.
+func NormalizeURL(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}

@@ -1,31 +1,22 @@
 // A concurrency-safe LRU cache for encoded plans, bounded both by entry
 // count and by total value bytes. Plans for model-scale graphs run ~100 KB
 // of JSON each (see ROADMAP), so the byte cap is the binding limit in
-// production; the entry cap is a backstop against many tiny plans.
+// production; the entry cap is a backstop against many tiny plans. Entries
+// carry their insert time so a TTL sweep can expire a slowly-rotating
+// working set that the capacity caps would keep forever.
 
 package serve
 
 import (
 	"container/list"
 	"sync"
+	"time"
 )
-
-// cachedPlan is what one cache slot holds: the encoded plan in both wire
-// forms plus the response metadata served with it. The X-HAP-Passes header
-// must survive caching — a cache hit reports what the pass pipeline did when
-// the plan was synthesized, without clients scraping /stats. The binary form
-// is cached alongside the JSON so content negotiation never re-encodes.
-type cachedPlan struct {
-	plan   []byte // WriteProgram JSON
-	bin    []byte // WriteProgramBinary payload (may be empty for restored v1 files)
-	passes string // X-HAP-Passes header value ("" = pipeline disabled)
-}
-
-func (v cachedPlan) size() int64 { return int64(len(v.plan) + len(v.bin) + len(v.passes)) }
 
 type cacheEntry struct {
 	key string
-	val cachedPlan
+	val CachedPlan
+	at  time.Time // insert (or refresh) time, for the TTL sweep
 }
 
 type lruCache struct {
@@ -50,23 +41,23 @@ func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
 
 // get returns the cached value and refreshes its recency. The returned
 // plan bytes are shared — callers must not mutate them.
-func (c *lruCache) get(key string) (cachedPlan, bool) {
+func (c *lruCache) get(key string) (CachedPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.items[key]
 	if !ok {
-		return cachedPlan{}, false
+		return CachedPlan{}, false
 	}
 	c.ll.MoveToFront(e)
 	return e.Value.(*cacheEntry).val, true
 }
 
-// add inserts (or refreshes) a value and evicts from the LRU tail until both
-// caps hold, reporting whether the value was stored and which keys were
-// evicted, so write-through persistence can mirror both decisions on disk.
-// A value larger than maxBytes on its own is not cached at all — caching it
-// would evict everything else for a single entry.
-func (c *lruCache) add(key string, val cachedPlan) (stored bool, evicted []string) {
+// add inserts (or refreshes) a value stamped with time at, and evicts from
+// the LRU tail until both caps hold, reporting whether the value was stored
+// and which keys were evicted, so write-through persistence can mirror both
+// decisions on disk. A value larger than maxBytes on its own is not cached
+// at all — caching it would evict everything else for a single entry.
+func (c *lruCache) add(key string, val CachedPlan, at time.Time) (stored bool, evicted []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if val.size() > c.maxBytes {
@@ -76,9 +67,10 @@ func (c *lruCache) add(key string, val cachedPlan) (stored bool, evicted []strin
 		ent := e.Value.(*cacheEntry)
 		c.bytes += val.size() - ent.val.size()
 		ent.val = val
+		ent.at = at
 		c.ll.MoveToFront(e)
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, at: at})
 		c.bytes += val.size()
 	}
 	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
@@ -86,14 +78,50 @@ func (c *lruCache) add(key string, val cachedPlan) (stored bool, evicted []strin
 		if tail == nil {
 			break
 		}
-		ent := tail.Value.(*cacheEntry)
-		c.ll.Remove(tail)
-		delete(c.items, ent.key)
-		c.bytes -= ent.val.size()
-		c.evictions++
-		evicted = append(evicted, ent.key)
+		c.removeElement(tail)
+		evicted = append(evicted, tail.Value.(*cacheEntry).key)
 	}
 	return true, evicted
+}
+
+// removeElement unlinks one entry; the caller holds c.mu.
+func (c *lruCache) removeElement(e *list.Element) {
+	ent := e.Value.(*cacheEntry)
+	c.ll.Remove(e)
+	delete(c.items, ent.key)
+	c.bytes -= ent.val.size()
+	c.evictions++
+}
+
+// sweepExpired evicts every entry whose stamp is before cutoff, returning
+// the evicted keys so persistence can delete their files.
+func (c *lruCache) sweepExpired(cutoff time.Time) (evicted []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for e := c.ll.Front(); e != nil; e = next {
+		next = e.Next()
+		ent := e.Value.(*cacheEntry)
+		if ent.at.Before(cutoff) {
+			c.removeElement(e)
+			evicted = append(evicted, ent.key)
+		}
+	}
+	return evicted
+}
+
+// entries snapshots the cache in most- to least-recently-used order. The
+// values share their byte slices with the cache (immutable by contract), so
+// the snapshot is cheap even when a warm-up stream then spends seconds
+// writing it to a peer.
+func (c *lruCache) entries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		out = append(out, *e.Value.(*cacheEntry))
+	}
+	return out
 }
 
 // snapshot returns (entries, bytes, evictions) for /stats.

@@ -9,14 +9,14 @@ import (
 	"time"
 )
 
-// bp wraps raw bytes as a header-less cachedPlan for cache tests.
-func bp(s string) cachedPlan { return cachedPlan{plan: []byte(s)} }
+// bp wraps raw bytes as a header-less CachedPlan for cache tests.
+func bp(s string) CachedPlan { return CachedPlan{Plan: []byte(s)} }
 
 func TestLRUEntryCapEvictsOldest(t *testing.T) {
 	c := newLRUCache(2, 1<<20)
-	c.add("a", bp("1"))
-	c.add("b", bp("2"))
-	c.add("c", bp("3"))
+	c.add("a", bp("1"), time.Now())
+	c.add("b", bp("2"), time.Now())
+	c.add("c", bp("3"), time.Now())
 	if _, ok := c.get("a"); ok {
 		t.Error("oldest entry survived the entry cap")
 	}
@@ -32,8 +32,8 @@ func TestLRUEntryCapEvictsOldest(t *testing.T) {
 
 func TestLRUByteCapEvicts(t *testing.T) {
 	c := newLRUCache(100, 10)
-	c.add("a", cachedPlan{plan: make([]byte, 6)})
-	c.add("b", cachedPlan{plan: make([]byte, 6)}) // 12 > 10: "a" must go
+	c.add("a", CachedPlan{Plan: make([]byte, 6)}, time.Now())
+	c.add("b", CachedPlan{Plan: make([]byte, 6)}, time.Now()) // 12 > 10: "a" must go
 	if _, ok := c.get("a"); ok {
 		t.Error("byte cap not enforced")
 	}
@@ -44,10 +44,10 @@ func TestLRUByteCapEvicts(t *testing.T) {
 
 func TestLRUGetRefreshesRecency(t *testing.T) {
 	c := newLRUCache(2, 1<<20)
-	c.add("a", bp("1"))
-	c.add("b", bp("2"))
+	c.add("a", bp("1"), time.Now())
+	c.add("b", bp("2"), time.Now())
 	c.get("a") // "b" is now least recent
-	c.add("c", bp("3"))
+	c.add("c", bp("3"), time.Now())
 	if _, ok := c.get("a"); !ok {
 		t.Error("recently used entry evicted")
 	}
@@ -58,7 +58,7 @@ func TestLRUGetRefreshesRecency(t *testing.T) {
 
 func TestLRUOversizedValueNotCached(t *testing.T) {
 	c := newLRUCache(10, 4)
-	c.add("big", cachedPlan{plan: make([]byte, 5)})
+	c.add("big", CachedPlan{Plan: make([]byte, 5)}, time.Now())
 	if _, ok := c.get("big"); ok {
 		t.Error("value above the byte cap was cached")
 	}
@@ -69,10 +69,10 @@ func TestLRUOversizedValueNotCached(t *testing.T) {
 
 func TestLRUUpdateExistingKey(t *testing.T) {
 	c := newLRUCache(10, 1<<20)
-	c.add("a", bp("1"))
-	c.add("a", bp("1234"))
+	c.add("a", bp("1"), time.Now())
+	c.add("a", bp("1234"), time.Now())
 	v, ok := c.get("a")
-	if !ok || string(v.plan) != "1234" {
+	if !ok || string(v.Plan) != "1234" {
 		t.Errorf("get after update = %q, %v", v, ok)
 	}
 	if entries, bytes, _ := c.snapshot(); entries != 1 || bytes != 4 {
@@ -90,7 +90,7 @@ func TestLRUConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 200; j++ {
 				k := fmt.Sprintf("k%d", (id+j)%64)
-				c.add(k, bp(k))
+				c.add(k, bp(k), time.Now())
 				c.get(k)
 			}
 		}(i)
@@ -106,13 +106,13 @@ func TestSingleFlightSharesResult(t *testing.T) {
 	calls := 0
 	gate := make(chan struct{})
 	var wg sync.WaitGroup
-	results := make([]cachedPlan, 10)
+	results := make([]CachedPlan, 10)
 	shared := make([]bool, 10)
 	for i := 0; i < 10; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err, sh := g.do(context.Background(), "k", func(context.Context) (cachedPlan, error) {
+			v, err, sh := g.do(context.Background(), "k", func(context.Context) (CachedPlan, error) {
 				calls++ // safe: only one executor may run at a time
 				<-gate
 				return bp("result"), nil
@@ -130,7 +130,7 @@ func TestSingleFlightSharesResult(t *testing.T) {
 	}
 	nonShared := 0
 	for i := range results {
-		if string(results[i].plan) != "result" {
+		if string(results[i].Plan) != "result" {
 			t.Errorf("caller %d got %q", i, results[i])
 		}
 		if !shared[i] {
@@ -154,14 +154,14 @@ func TestSingleFlightRefCountedCancellation(t *testing.T) {
 
 	ownerDone := make(chan error, 1)
 	go func() {
-		_, err, _ := g.do(ownerCtx, "k", func(fctx context.Context) (cachedPlan, error) {
+		_, err, _ := g.do(ownerCtx, "k", func(fctx context.Context) (CachedPlan, error) {
 			flightCtx = fctx
 			close(started)
 			select {
 			case <-release:
 				return bp("plan"), nil
 			case <-fctx.Done():
-				return cachedPlan{}, fctx.Err()
+				return CachedPlan{}, fctx.Err()
 			}
 		})
 		ownerDone <- err
@@ -169,16 +169,16 @@ func TestSingleFlightRefCountedCancellation(t *testing.T) {
 	<-started
 
 	waiterDone := make(chan struct {
-		val cachedPlan
+		val CachedPlan
 		err error
 	}, 1)
 	go func() {
-		v, err, _ := g.do(waiterCtx, "k", func(context.Context) (cachedPlan, error) {
+		v, err, _ := g.do(waiterCtx, "k", func(context.Context) (CachedPlan, error) {
 			t.Error("waiter executed fn; expected to join the flight")
-			return cachedPlan{}, nil
+			return CachedPlan{}, nil
 		})
 		waiterDone <- struct {
-			val cachedPlan
+			val CachedPlan
 			err error
 		}{v, err}
 	}()
@@ -193,8 +193,8 @@ func TestSingleFlightRefCountedCancellation(t *testing.T) {
 	}
 	close(release)
 	w := <-waiterDone
-	if w.err != nil || string(w.val.plan) != "plan" {
-		t.Fatalf("waiter got (%q, %v), want the owner's plan", w.val.plan, w.err)
+	if w.err != nil || string(w.val.Plan) != "plan" {
+		t.Fatalf("waiter got (%q, %v), want the owner's plan", w.val.Plan, w.err)
 	}
 	<-ownerDone
 
@@ -203,10 +203,10 @@ func TestSingleFlightRefCountedCancellation(t *testing.T) {
 	fellDown := make(chan error, 1)
 	lonerCtx, cancelLoner := context.WithCancel(context.Background())
 	go func() {
-		_, err, _ := g.do(lonerCtx, "k2", func(fctx context.Context) (cachedPlan, error) {
+		_, err, _ := g.do(lonerCtx, "k2", func(fctx context.Context) (CachedPlan, error) {
 			close(started2)
 			<-fctx.Done()
-			return cachedPlan{}, fctx.Err()
+			return CachedPlan{}, fctx.Err()
 		})
 		fellDown <- err
 	}()

@@ -1,0 +1,287 @@
+// The fleet layer of the daemon: what turns N independent hap-serve caches
+// into one sharded, replicated plan-cache tier. The mechanics live in
+// internal/fleet (ring, membership, health, intra-fleet client); this file
+// is the serve-side wiring — proxy-on-miss, replication of filled entries,
+// the /v1/fleet/entries exchange endpoint, warm-up, and the fleet slices of
+// /stats, /metrics, and /healthz.
+//
+// Division of labor per request fingerprint (the cache key):
+//
+//   - The ring owner is the only node that synthesizes the key. Its
+//     single-flight group extends the one-synthesis guarantee fleet-wide:
+//     every other node proxies its misses to the owner, so a thundering
+//     herd spread across the whole fleet still collapses to one search.
+//   - Filled entries are pushed to the ReplicaCount-1 ring successors.
+//     Replicas serve reads locally (plans are content-addressed and
+//     immutable, so replica reads are never stale) and keep the key alive
+//     when the owner dies.
+//   - When the owner fails its health check or the proxy errors, the miss
+//     falls over to the replicas; when every responsible peer is gone, the
+//     node synthesizes locally — the fleet degrades to independent caches,
+//     never to an outage.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hap/internal/fleet"
+)
+
+// replicateTimeout bounds one replication push. Pushes move already-encoded
+// bytes to a loopback-or-LAN peer; seconds of budget means a wedged peer
+// delays a miss response, not a request timeout.
+const replicateTimeout = 5 * time.Second
+
+// FleetStats is the fleet slice of /stats.
+type FleetStats struct {
+	// Self is this node's advertise URL; Peers the current membership
+	// (sorted, self included); PeersDown how many peers health marks down.
+	Self      string   `json:"self"`
+	Peers     []string `json:"peers"`
+	PeersDown int      `json:"peers_down"`
+	// Replicas is the configured copies per entry, owner included.
+	Replicas int `json:"replicas"`
+	// MembershipReloads counts peer-list reloads that changed the ring.
+	MembershipReloads uint64 `json:"membership_reloads"`
+	// Proxied counts misses answered by a peer; ProxyErrors failed proxy
+	// attempts (each marks the peer down); LocalFallbacks misses owned
+	// elsewhere that synthesized here because every peer was unreachable.
+	Proxied        uint64 `json:"proxied"`
+	ProxyErrors    uint64 `json:"proxy_errors"`
+	LocalFallbacks uint64 `json:"local_fallbacks"`
+	// ForwardedServed counts requests served on behalf of forwarding peers —
+	// the owner's side of the proxy traffic.
+	ForwardedServed uint64 `json:"forwarded_served"`
+	// ReplicatedOut / ReplicateErrors / ReplicatedIn count replication
+	// pushes sent, failed, and accepted; WarmupEntries counts entries this
+	// node received by warm-up streaming.
+	ReplicatedOut   uint64 `json:"replicated_out"`
+	ReplicateErrors uint64 `json:"replicate_errors"`
+	ReplicatedIn    uint64 `json:"replicated_in"`
+	WarmupEntries   uint64 `json:"warmup_entries"`
+}
+
+// fleetStats assembles the /stats fleet slice; nil on a standalone daemon.
+func (s *Server) fleetStats() *FleetStats {
+	f := s.cfg.Fleet
+	if f == nil {
+		return nil
+	}
+	return &FleetStats{
+		Self:              f.Self(),
+		Peers:             f.Members.Peers(),
+		PeersDown:         f.Health.DownCount(),
+		Replicas:          f.ReplicaCount(),
+		MembershipReloads: f.Members.Reloads(),
+		Proxied:           s.fleetProxied.Load(),
+		ProxyErrors:       s.fleetProxyErrors.Load(),
+		LocalFallbacks:    s.fleetLocalFallbacks.Load(),
+		ForwardedServed:   s.fleetForwardedServed.Load(),
+		ReplicatedOut:     s.fleetReplicatedOut.Load(),
+		ReplicateErrors:   s.fleetReplicateErrors.Load(),
+		ReplicatedIn:      s.fleetReplicatedIn.Load(),
+		WarmupEntries:     s.fleetWarmupEntries.Load(),
+	}
+}
+
+// fleetHealthPayload is the fleet section of /healthz.
+type fleetHealthPayload struct {
+	Self      string `json:"self"`
+	Peers     int    `json:"peers"`
+	PeersDown int    `json:"peers_down"`
+}
+
+func (s *Server) fleetHealth() *fleetHealthPayload {
+	f := s.cfg.Fleet
+	if f == nil {
+		return nil
+	}
+	return &fleetHealthPayload{Self: f.Self(), Peers: f.Size(), PeersDown: f.Health.DownCount()}
+}
+
+// proxyPlanRequest forwards a missed request to the key's responsible peers:
+// the owner first, then the ring successors holding replicas. The first peer
+// that answers has its response — status, plan headers, body — relayed
+// verbatim (plus the answering node's URL in the fleet node header), and
+// peers that fail transport are marked down so the next request skips them.
+// Returns false when no peer could be reached; the caller synthesizes
+// locally. Peers answering an HTTP error are authoritative (the owner's 422
+// is the fleet's 422) — only transport failures fall through.
+//
+// The forward always targets /v1/synthesize regardless of which endpoint
+// the client hit: the legacy endpoint shares the cache key space, and
+// relaying a v1 envelope to a legacy client only changes the error body of
+// an already-failing request.
+func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Request, key, owner string, v1, binary bool) bool {
+	f := s.cfg.Fleet
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	accept := "application/json"
+	if binary {
+		accept = BinaryPlanContentType + ", application/json"
+	}
+	// Candidates: owner first, then the replica set (minus self — we
+	// already missed locally). Unhealthy peers are tried last rather than
+	// skipped: health is advisory, and with every candidate marked down a
+	// fresh attempt is still cheaper than a local synthesis.
+	var healthy, down []string
+	for _, peer := range append([]string{owner}, f.ReplicaSet(key)...) {
+		if peer == f.Self() || contains(healthy, peer) || contains(down, peer) {
+			continue
+		}
+		if f.Health.Healthy(peer) {
+			healthy = append(healthy, peer)
+		} else {
+			down = append(down, peer)
+		}
+	}
+	for _, peer := range append(healthy, down...) {
+		resp, err := f.Client.Forward(r.Context(), peer, "/v1/synthesize", body, accept, f.Self())
+		if err != nil {
+			if errors.Is(err, context.Canceled) || r.Context().Err() != nil {
+				// The client went away mid-proxy: no verdict on the peer's
+				// health, and the 499 is for the log — nobody reads it.
+				s.fail(w, v1, 499, CodeCanceled, "canceled: %v", r.Context().Err())
+				return true
+			}
+			f.Health.MarkDown(peer)
+			s.fleetProxyErrors.Add(1)
+			continue
+		}
+		f.Health.MarkUp(peer)
+		s.fleetProxied.Add(1)
+		for _, h := range []string{"Content-Type", "X-HAP-Cache", "X-HAP-Passes"} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set(fleet.NodeHeader, peer)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return true
+	}
+	return false
+}
+
+// maybeReplicate pushes a filled entry to the key's ring successors. Only
+// the owner replicates: a node that synthesized a key it does not own (a
+// forwarded request, or a fallback with the owner down) holds the entry
+// locally, and the key's next miss through the owner re-establishes the
+// replica set. Pushes are synchronous — milliseconds against a synthesis
+// that took seconds, and the e2e invariants stay deterministic.
+func (s *Server) maybeReplicate(key string, v CachedPlan) {
+	f := s.cfg.Fleet
+	if f == nil {
+		return
+	}
+	set := f.ReplicaSet(key)
+	if len(set) < 2 || set[0] != f.Self() {
+		return
+	}
+	e := fleet.Entry{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes}
+	for _, peer := range set[1:] {
+		ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
+		err := f.Client.Replicate(ctx, peer, e)
+		cancel()
+		if err != nil {
+			s.fleetReplicateErrors.Add(1)
+			continue
+		}
+		s.fleetReplicatedOut.Add(1)
+	}
+}
+
+// handleFleetEntries serves the fleet entry exchange:
+//
+//	GET  → stream every cached entry as NDJSON, most recently used first
+//	       (a warm-up cut short mid-transfer delivered the hottest keys)
+//	POST → accept one replicated entry into the local store
+//
+// The endpoint is mounted even on a standalone daemon so a node joining a
+// fleet can warm up from a predecessor that never ran fleet-configured.
+func (s *Server) handleFleetEntries(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		s.store.Range(func(key string, v CachedPlan) bool {
+			if err := enc.Encode(fleet.Entry{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes}); err != nil {
+				return false // receiver went away; stop streaming
+			}
+			if flusher != nil {
+				// Flush per entry: an interrupted transfer still delivers
+				// complete lines, so the receiver keeps a usable prefix.
+				flusher.Flush()
+			}
+			return true
+		})
+	case http.MethodPost:
+		var e fleet.Entry
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+		if err := dec.Decode(&e); err != nil {
+			s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad entry: %v", err)
+			return
+		}
+		if e.Key == "" || len(e.Plan) == 0 {
+			s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad entry: key and plan are required")
+			return
+		}
+		s.store.Put(e.Key, CachedPlan{Plan: e.Plan, Bin: e.Bin, Passes: e.Passes})
+		s.fleetReplicatedIn.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.fail(w, true, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST required")
+	}
+}
+
+// WarmFrom streams cached entries from the first peer that answers into the
+// local store — how a joining node avoids starting cold. Peers are tried in
+// order (self skipped); a stream cut mid-transfer keeps every entry that
+// arrived and reports the partial count alongside the error, because each
+// one is a synthesis the node will not re-pay. Requires a configured fleet.
+func (s *Server) WarmFrom(ctx context.Context, peers []string) (int, error) {
+	f := s.cfg.Fleet
+	if f == nil {
+		return 0, fmt.Errorf("serve: warm-up requires a fleet configuration")
+	}
+	var lastErr error
+	for _, peer := range peers {
+		if fleet.NormalizeURL(peer) == f.Self() {
+			continue
+		}
+		n, err := f.Client.StreamEntries(ctx, peer, func(e fleet.Entry) bool {
+			s.store.Put(e.Key, CachedPlan{Plan: e.Plan, Bin: e.Bin, Passes: e.Passes})
+			return true
+		})
+		s.fleetWarmupEntries.Add(uint64(n))
+		if err == nil {
+			return n, nil
+		}
+		if n > 0 {
+			return n, err // partial transfer: keep what arrived
+		}
+		f.Health.MarkDown(peer)
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+// The daemon's metrics surface: lock-free latency histograms and the
+// GET /metrics handler exposing every counter in the Prometheus text
+// exposition format (version 0.0.4), so a scrape target needs no sidecar.
+
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram, spanning sub-millisecond cache hits through minute-scale cold
+// syntheses; the implicit final bucket is +Inf.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: per-bucket atomic counters plus an atomic nanosecond sum —
+// no locks on the request path.
+type histogram struct {
+	counts []atomic.Uint64 // len(latencyBuckets)+1; last = +Inf overflow
+	sumNs  atomic.Int64
+	total  atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, sec) // first bucket with bound >= sec
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.total.Add(1)
+}
+
+// observeLatency records one request's wall time in its endpoint histogram.
+// Used as `defer s.observeLatency(endpoint, time.Now())` at handler entry.
+func (s *Server) observeLatency(endpoint string, start time.Time) {
+	if h := s.latency[endpoint]; h != nil {
+		h.observe(time.Since(start))
+	}
+}
+
+// writeHistogram emits one endpoint's histogram series: cumulative
+// _bucket{le=...} lines, then _sum and _count.
+func writeHistogram(b *bytes.Buffer, name, endpoint string, h *histogram) {
+	cum := uint64(0)
+	for i, bound := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{endpoint=%q,le=%q} %d\n", name, endpoint, formatBound(bound), cum)
+	}
+	cum += h.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(b, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, endpoint, cum)
+	fmt.Fprintf(b, "%s_sum{endpoint=%q} %g\n", name, endpoint, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(b, "%s_count{endpoint=%q} %d\n", name, endpoint, cum)
+}
+
+// formatBound renders a bucket bound the way Prometheus conventionally
+// writes it ("0.005", "1", "30").
+func formatBound(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(&b, "# HELP hap_serve_protocol_info Wire protocol version served, as an info-style gauge.\n# TYPE hap_serve_protocol_info gauge\nhap_serve_protocol_info{version=%q} 1\n", st.Protocol)
+	counter("hap_serve_requests_total", "Plan requests across all endpoints.", st.Requests)
+	// Per-endpoint breakdown, in fixed order for a stable exposition.
+	fmt.Fprintf(&b, "# HELP hap_serve_requests_by_endpoint_total Plan requests, by wire endpoint.\n# TYPE hap_serve_requests_by_endpoint_total counter\n")
+	for _, ep := range []string{EndpointLegacy, EndpointV1, EndpointV1Batch} {
+		fmt.Fprintf(&b, "hap_serve_requests_by_endpoint_total{endpoint=%q} %d\n", ep, st.RequestsByEndpoint[ep])
+	}
+	// Request latency histograms, one series per endpoint.
+	fmt.Fprintf(&b, "# HELP hap_serve_request_seconds Request wall time by wire endpoint, including rejected requests.\n# TYPE hap_serve_request_seconds histogram\n")
+	for _, ep := range []string{EndpointLegacy, EndpointV1, EndpointV1Batch} {
+		writeHistogram(&b, "hap_serve_request_seconds", ep, s.latency[ep])
+	}
+	counter("hap_serve_cache_hits_total", "Requests served straight from the plan cache.", st.CacheHits)
+	counter("hap_serve_cache_misses_total", "Requests that required (or joined) a synthesis.", st.CacheMisses)
+	counter("hap_serve_syntheses_total", "Plans actually synthesized.", st.Syntheses)
+	counter("hap_serve_flight_shared_total", "Cache misses that joined an in-flight synthesis.", st.FlightShared)
+	counter("hap_serve_errors_total", "Requests answered with an error status.", st.Errors)
+	counter("hap_serve_cache_evictions_total", "Plans evicted by the LRU caps or the TTL sweep.", st.CacheEvictions)
+	gauge("hap_serve_cache_entries", "Plans currently cached.", float64(st.CacheEntries))
+	gauge("hap_serve_cache_bytes", "Bytes of plans currently cached.", float64(st.CacheBytes))
+	gauge("hap_serve_cache_restored", "Plans reloaded from the cache directory on boot.", float64(st.CacheRestored))
+	gauge("hap_serve_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
+	counter("hap_serve_pass_runs_total", "Syntheses that ran the post-synthesis pass pipeline.", st.PassRuns)
+	counter("hap_serve_pass_rewrites_total", "Program rewrites applied by the pass pipeline.", st.PassRewrites)
+	// Per-pass breakdown, emitted in sorted order for a stable exposition.
+	fmt.Fprintf(&b, "# HELP hap_serve_pass_rewrites_by_total Program rewrites applied, by pass.\n# TYPE hap_serve_pass_rewrites_by_total counter\n")
+	names := make([]string, 0, len(st.PassRewritesBy))
+	for name := range st.PassRewritesBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "hap_serve_pass_rewrites_by_total{pass=%q} %d\n", name, st.PassRewritesBy[name])
+	}
+	if fs := st.Fleet; fs != nil {
+		gauge("hap_serve_fleet_peers", "Current fleet members, self included.", float64(len(fs.Peers)))
+		gauge("hap_serve_fleet_peers_down", "Fleet peers currently failing health checks.", float64(fs.PeersDown))
+		gauge("hap_serve_fleet_replicas", "Configured copies per entry, owner included.", float64(fs.Replicas))
+		counter("hap_serve_fleet_membership_reloads_total", "Peer-list reloads that changed the ring.", fs.MembershipReloads)
+		counter("hap_serve_fleet_proxied_total", "Cache misses answered by proxying to a peer.", fs.Proxied)
+		counter("hap_serve_fleet_proxy_errors_total", "Failed proxy attempts to peers.", fs.ProxyErrors)
+		counter("hap_serve_fleet_local_fallbacks_total", "Misses owned elsewhere synthesized locally because every peer was unreachable.", fs.LocalFallbacks)
+		counter("hap_serve_fleet_forwarded_served_total", "Requests served on behalf of forwarding peers.", fs.ForwardedServed)
+		counter("hap_serve_fleet_replicated_out_total", "Entries pushed to ring successors.", fs.ReplicatedOut)
+		counter("hap_serve_fleet_replicate_errors_total", "Failed replication pushes.", fs.ReplicateErrors)
+		counter("hap_serve_fleet_replicated_in_total", "Replicated entries accepted from peers.", fs.ReplicatedIn)
+		counter("hap_serve_fleet_warmup_entries_total", "Entries received by warm-up streaming.", fs.WarmupEntries)
+	}
+	w.Write(b.Bytes())
+}

@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 )
 
 // planFileExt names persisted plan files.
@@ -71,8 +73,8 @@ func (d *diskStore) path(key string) string {
 
 // save writes one plan through to disk, atomically. Errors are swallowed:
 // persistence never fails a request.
-func (d *diskStore) save(key string, v cachedPlan) {
-	data, err := json.Marshal(persistedPlan{Key: key, Plan: v.plan, Bin: v.bin, Passes: v.passes})
+func (d *diskStore) save(key string, v CachedPlan) {
+	data, err := json.Marshal(persistedPlan{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes})
 	if err != nil {
 		return
 	}
@@ -100,19 +102,41 @@ func (d *diskStore) remove(key string) {
 	os.Remove(d.path(key))
 }
 
-// load feeds every persisted plan to add, returning how many add accepted.
-// Corrupt or foreign files are skipped, not fatal.
-func (d *diskStore) load(add func(key string, v cachedPlan) bool) int {
+// load feeds every persisted plan to add in ascending-mtime order — oldest
+// first, so the most recently written plan ends up most recently used and a
+// restart preserves the LRU's eviction order instead of replaying the
+// directory's arbitrary listing order. Files last written before cutoff
+// (the TTL horizon; zero disables) are deleted instead of restored. Returns
+// how many plans add accepted. Corrupt or foreign files are skipped, not
+// fatal.
+func (d *diskStore) load(cutoff time.Time, add func(key string, v CachedPlan, mtime time.Time) bool) int {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
 		return 0
 	}
-	restored := 0
+	type planFile struct {
+		name  string
+		mtime time.Time
+	}
+	files := make([]planFile, 0, len(entries))
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), planFileExt) {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(d.dir, e.Name()))
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if !cutoff.IsZero() && info.ModTime().Before(cutoff) {
+			os.Remove(filepath.Join(d.dir, e.Name()))
+			continue
+		}
+		files = append(files, planFile{name: e.Name(), mtime: info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	restored := 0
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(d.dir, f.name))
 		if err != nil {
 			continue
 		}
@@ -120,7 +144,7 @@ func (d *diskStore) load(add func(key string, v cachedPlan) bool) int {
 		if err := json.Unmarshal(data, &p); err != nil || p.Key == "" || len(p.Plan) == 0 {
 			continue
 		}
-		if add(p.Key, cachedPlan{plan: p.Plan, bin: p.Bin, passes: p.Passes}) {
+		if add(p.Key, CachedPlan{Plan: p.Plan, Bin: p.Bin, Passes: p.Passes}, f.mtime) {
 			restored++
 		}
 	}

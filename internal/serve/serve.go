@@ -12,14 +12,26 @@
 // reference-counted flight context: it is cancelled when the last interested
 // client disconnects, never by one impatient client among many.
 //
+// The HTTP surface is separated from plan storage by the PlanStore
+// interface (store.go): handlers decode, route, and encode; everything that
+// remembers a plan lives behind Get/Put/Range/Stats. With a
+// fleet.Fleet configured (fleet.go), the daemon is one node of a sharded,
+// replicated cache tier: request fingerprints are consistent-hash routed to
+// an owner peer, misses proxy to the owner (whose single-flight group makes
+// a fleet-wide thundering herd synthesize exactly once), filled entries
+// replicate to ring successors, and a joining node warms up by streaming a
+// peer's entries.
+//
 // Wire protocol v2 (see DESIGN.md for the full specification):
 //
 //	POST /v1/synthesize        {"graph", "cluster", "options"} → plan
 //	POST /v1/synthesize/batch  {"graph", "clusters": [...], "options"} → plans
 //	POST /synthesize           legacy unversioned endpoint (deprecated)
+//	GET  /v1/fleet/entries     NDJSON stream of cached entries (warm-up)
+//	POST /v1/fleet/entries     accept one replicated entry
 //	GET  /healthz              liveness + protocol version, JSON
 //	GET  /stats                cache and request counters, JSON
-//	GET  /metrics              the same counters in Prometheus text format
+//	GET  /metrics              counters + latency histograms, Prometheus text
 //
 // The v1 endpoints answer errors with a structured JSON envelope
 // {"code", "message"} and honor content negotiation: a request with
@@ -38,7 +50,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,6 +57,7 @@ import (
 
 	"hap"
 	"hap/internal/cluster"
+	"hap/internal/fleet"
 	"hap/internal/graph"
 )
 
@@ -57,7 +69,8 @@ const ProtocolVersion = "v2"
 // encoding, requested via the Accept header and returned as Content-Type.
 const BinaryPlanContentType = "application/x-hap-plan"
 
-// Endpoint labels for the per-endpoint request counters.
+// Endpoint labels for the per-endpoint request counters and latency
+// histograms.
 const (
 	EndpointLegacy  = "legacy"
 	EndpointV1      = "v1"
@@ -96,8 +109,18 @@ type Config struct {
 	// CacheDir enables write-through disk persistence of the plan cache:
 	// every cached plan is also written to a content-addressed file under
 	// this directory, evictions delete their file, and a restarting server
-	// reloads the directory into the in-memory cache ("" = memory only).
+	// reloads the directory into the in-memory cache in mtime (LRU) order
+	// ("" = memory only).
 	CacheDir string
+	// CacheTTL expires cached plans (and their persisted files) older than
+	// this age: files past the TTL are deleted instead of restored on boot,
+	// and a background sweep evicts aged entries so a long-lived CacheDir
+	// does not grow unbounded under a slowly-rotating working set
+	// (0 = never expire).
+	CacheTTL time.Duration
+	// Fleet, when non-nil, makes this daemon one node of a sharded,
+	// replicated plan-cache fleet (see fleet.go and internal/fleet).
+	Fleet *fleet.Fleet
 	// Synthesize overrides the planner, for tests. Nil means a hap.Planner
 	// driven by the request context.
 	Synthesize func(context.Context, *graph.Graph, *cluster.Cluster, hap.Options) (*hap.Plan, error)
@@ -182,7 +205,7 @@ type Stats struct {
 	Errors         uint64  `json:"errors"`          // requests answered with an error status
 	CacheEntries   int     `json:"cache_entries"`   // plans currently cached
 	CacheBytes     int64   `json:"cache_bytes"`     // bytes currently cached
-	CacheEvictions uint64  `json:"cache_evictions"` // plans evicted by the LRU caps
+	CacheEvictions uint64  `json:"cache_evictions"` // plans evicted by the LRU caps or the TTL sweep
 	CacheRestored  int     `json:"cache_restored"`  // plans reloaded from CacheDir on boot
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	// RequestsByEndpoint breaks Requests down by wire endpoint
@@ -194,16 +217,24 @@ type Stats struct {
 	PassRuns       uint64            `json:"pass_runs"`
 	PassRewrites   uint64            `json:"pass_rewrites"`
 	PassRewritesBy map[string]uint64 `json:"pass_rewrites_by,omitempty"`
+	// Fleet reports the fleet-layer counters; nil on a standalone daemon.
+	Fleet *FleetStats `json:"fleet,omitempty"`
 }
 
 // Server is the plan-cache daemon. Create with New, mount via Handler.
 type Server struct {
-	cfg      Config
-	cache    *lruCache
-	flight   flightGroup
-	persist  *diskStore
-	restored int
-	start    time.Time
+	cfg   Config
+	store PlanStore
+	// mds is the concrete default store, kept for the TTL sweeper; equal to
+	// store today, nil if a future Config grows a store override.
+	mds    *memDiskStore
+	flight flightGroup
+	start  time.Time
+
+	latency map[string]*histogram // per-endpoint request latency
+
+	stopSweep chan struct{}
+	closeOnce sync.Once
 
 	requests     atomic.Uint64
 	epLegacy     atomic.Uint64
@@ -215,6 +246,15 @@ type Server struct {
 	flightShared atomic.Uint64
 	errors       atomic.Uint64
 
+	fleetProxied         atomic.Uint64 // misses answered by proxying to a peer
+	fleetProxyErrors     atomic.Uint64 // failed proxy attempts (peer marked down)
+	fleetLocalFallbacks  atomic.Uint64 // owned-elsewhere misses synthesized locally (all peers down)
+	fleetForwardedServed atomic.Uint64 // requests served on behalf of a forwarding peer
+	fleetReplicatedOut   atomic.Uint64 // entries pushed to ring successors
+	fleetReplicateErrors atomic.Uint64 // failed replication pushes
+	fleetReplicatedIn    atomic.Uint64 // entries accepted from peers
+	fleetWarmupEntries   atomic.Uint64 // entries received by warm-up streaming
+
 	passMu         sync.Mutex
 	passRuns       uint64
 	passRewrites   uint64
@@ -223,7 +263,9 @@ type Server struct {
 
 // New returns a Server with zero Config values filled from the defaults.
 // When cfg.CacheDir is set, previously persisted plans are restored into the
-// cache before the first request.
+// cache before the first request (oldest mtime first, so LRU recency
+// survives the restart), and a positive cfg.CacheTTL starts the background
+// expiry sweep — call Close to stop it.
 func New(cfg Config) *Server {
 	if cfg.MaxCacheEntries <= 0 {
 		cfg.MaxCacheEntries = DefaultMaxCacheEntries
@@ -247,12 +289,7 @@ func New(cfg Config) *Server {
 			return hap.NewPlanner(cs[0], hap.WithOptions(opt)).PlanBatch(ctx, g, cs...)
 		}
 	}
-	s := &Server{
-		cfg:            cfg,
-		cache:          newLRUCache(cfg.MaxCacheEntries, cfg.MaxCacheBytes),
-		start:          time.Now(),
-		passRewritesBy: map[string]uint64{},
-	}
+	var persist *diskStore
 	if cfg.CacheDir != "" {
 		store, err := newDiskStore(cfg.CacheDir)
 		if err != nil {
@@ -261,24 +298,58 @@ func New(cfg Config) *Server {
 			// at the next restart.
 			log.Printf("serve: persistence disabled: %v", err)
 		} else {
-			s.persist = store
-			// Restore mirrors storePlan: entries the (possibly re-capped)
-			// cache rejects or evicts during the reload lose their files too,
-			// so the directory converges to the LRU's actual contents instead
-			// of re-reading stale plans on every boot.
-			s.restored = store.load(func(key string, v cachedPlan) bool {
-				stored, evicted := s.cache.add(key, v)
-				if !stored {
-					store.remove(key)
-				}
-				for _, k := range evicted {
-					store.remove(k)
-				}
-				return stored
-			})
+			persist = store
 		}
 	}
+	mds := newMemDiskStore(cfg.MaxCacheEntries, cfg.MaxCacheBytes, persist, cfg.CacheTTL)
+	s := &Server{
+		cfg:            cfg,
+		store:          mds,
+		mds:            mds,
+		start:          time.Now(),
+		passRewritesBy: map[string]uint64{},
+		latency: map[string]*histogram{
+			EndpointLegacy:  newHistogram(),
+			EndpointV1:      newHistogram(),
+			EndpointV1Batch: newHistogram(),
+		},
+	}
+	if cfg.CacheTTL > 0 {
+		s.stopSweep = make(chan struct{})
+		go s.sweepLoop()
+	}
 	return s
+}
+
+// sweepLoop periodically expires TTL-aged cache entries and their files.
+func (s *Server) sweepLoop() {
+	// Sweeping at a quarter of the TTL bounds overstay at 25% without
+	// scanning a large cache every few seconds.
+	interval := s.cfg.CacheTTL / 4
+	if interval < time.Minute {
+		interval = time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-ticker.C:
+			s.mds.sweep(time.Now())
+		}
+	}
+}
+
+// Close stops the server's background work (the TTL sweeper). It does not
+// touch the fleet's pollers — the fleet is owned by the caller that built
+// it.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stopSweep != nil {
+			close(s.stopSweep)
+		}
+	})
 }
 
 // Handler returns the daemon's HTTP routes.
@@ -287,6 +358,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/synthesize", s.handleLegacySynthesize)
 	mux.HandleFunc("/v1/synthesize", s.handleV1Synthesize)
 	mux.HandleFunc("/v1/synthesize/batch", s.handleV1Batch)
+	mux.HandleFunc(fleet.EntriesPath, s.handleFleetEntries)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -295,7 +367,7 @@ func (s *Server) Handler() http.Handler {
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	entries, bytes, evictions := s.cache.snapshot()
+	ss := s.store.Stats()
 	st := Stats{
 		Protocol:       ProtocolVersion,
 		Requests:       s.requests.Load(),
@@ -304,16 +376,17 @@ func (s *Server) Stats() Stats {
 		Syntheses:      s.syntheses.Load(),
 		FlightShared:   s.flightShared.Load(),
 		Errors:         s.errors.Load(),
-		CacheEntries:   entries,
-		CacheBytes:     bytes,
-		CacheEvictions: evictions,
-		CacheRestored:  s.restored,
+		CacheEntries:   ss.Entries,
+		CacheBytes:     ss.Bytes,
+		CacheEvictions: ss.Evictions,
+		CacheRestored:  ss.Restored,
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		RequestsByEndpoint: map[string]uint64{
 			EndpointLegacy:  s.epLegacy.Load(),
 			EndpointV1:      s.epV1.Load(),
 			EndpointV1Batch: s.epV1Batch.Load(),
 		},
+		Fleet: s.fleetStats(),
 	}
 	s.passMu.Lock()
 	st.PassRuns = s.passRuns
@@ -345,6 +418,8 @@ func (s *Server) recordPassStats(ps hap.PassStats) {
 // cacheKey is the content address of a plan: what the graph computes, what
 // the cluster can do, and how the planner was asked to run. Names and other
 // labels do not participate (see graph.Fingerprint, Cluster.Fingerprint).
+// The same string is the fleet routing fingerprint: every node derives the
+// same key from the same request, so ring ownership is request-determined.
 func cacheKey(g *graph.Graph, c *cluster.Cluster, opt RequestOptions) string {
 	return fmt.Sprintf("%s:%s:s%d:i%d:x%t:o%t",
 		graph.Fingerprint(g), c.Fingerprint(),
@@ -431,13 +506,17 @@ func (s *Server) decodePlanRequest(w http.ResponseWriter, r *http.Request, v1 bo
 // The aggregate and per-endpoint request counters increment together, at
 // the top of each handler, so RequestsByEndpoint always sums to Requests —
 // including requests rejected before synthesis (bad method, bad body).
+// Latency histograms are observed on the same boundary: every request,
+// including rejects, contributes one sample to its endpoint's histogram.
 func (s *Server) handleLegacySynthesize(w http.ResponseWriter, r *http.Request) {
+	defer s.observeLatency(EndpointLegacy, time.Now())
 	s.requests.Add(1)
 	s.epLegacy.Add(1)
 	s.synthesizeOne(w, r, false)
 }
 
 func (s *Server) handleV1Synthesize(w http.ResponseWriter, r *http.Request) {
+	defer s.observeLatency(EndpointV1, time.Now())
 	s.requests.Add(1)
 	s.epV1.Add(1)
 	s.synthesizeOne(w, r, true)
@@ -445,6 +524,12 @@ func (s *Server) handleV1Synthesize(w http.ResponseWriter, r *http.Request) {
 
 // synthesizeOne serves the single-cluster synthesize endpoints. v1 selects
 // the structured error envelope and binary content negotiation.
+//
+// With a fleet configured the flow is: local store first (an owned or
+// replicated entry answers immediately), then proxy the miss to the key's
+// ring owner (read-replica fallback when the owner is down), and only
+// synthesize here when this node owns the key, the request was already
+// forwarded by a peer, or every responsible peer is unreachable.
 func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) {
 	var req Request
 	if !s.decodePlanRequest(w, r, v1, &req) {
@@ -467,17 +552,34 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 
 	binary := v1 && wantsBinaryPlan(r)
 	key := cacheKey(g, c, req.Options)
-	if plan, ok := s.cache.get(key); ok {
+	forwarded := r.Header.Get(fleet.ForwardHeader) != ""
+	if forwarded {
+		s.fleetForwardedServed.Add(1)
+	}
+	if plan, ok := s.store.Get(key); ok {
 		s.hits.Add(1)
 		writePlan(w, plan, "hit", binary)
 		return
 	}
 	s.misses.Add(1)
-	plan, err, shared := s.flight.do(r.Context(), key, func(fctx context.Context) (cachedPlan, error) {
+	// A miss owned by a peer proxies there instead of synthesizing here —
+	// unless the request was already forwarded (a peer decided we should
+	// handle it; re-forwarding could loop across divergent ring views).
+	if f := s.cfg.Fleet; f != nil && !forwarded {
+		if owner := f.Owner(key); owner != "" && owner != f.Self() {
+			if s.proxyPlanRequest(w, r, req, key, owner, v1, binary) {
+				return
+			}
+			// Every responsible peer is unreachable: synthesize locally so
+			// the fleet degrades to N independent caches, not to an outage.
+			s.fleetLocalFallbacks.Add(1)
+		}
+	}
+	plan, err, shared := s.flight.do(r.Context(), key, func(fctx context.Context) (CachedPlan, error) {
 		// Re-check under the flight: a request that missed while a previous
 		// flight for this key was completing would otherwise re-synthesize a
 		// plan the cache now holds.
-		if v, ok := s.cache.get(key); ok {
+		if v, ok := s.store.Get(key); ok {
 			return v, nil
 		}
 		s.syntheses.Add(1)
@@ -487,12 +589,12 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 		// waiters are sharing.
 		p, err := s.cfg.Synthesize(fctx, g, c, s.hapOptions(req.Options))
 		if err != nil {
-			return cachedPlan{}, err
+			return CachedPlan{}, err
 		}
 		s.recordPassStats(p.Passes)
 		v, err := encodePlan(p)
 		if err != nil {
-			return cachedPlan{}, err
+			return CachedPlan{}, err
 		}
 		// Cache before the flight key is released: a request arriving between
 		// flight completion and a later insert would synthesize a second time.
@@ -515,7 +617,14 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 // ones are planned in a single PlanBatch call that builds the graph theory
 // once — the request-coalescing path the batch endpoint exists for. The
 // response is always JSON.
+//
+// Batch requests are not fleet-routed: coalescing happens within the
+// request, and splitting a batch across owners would trade the theory-once
+// guarantee for routing purity. Filled entries still replicate when this
+// node owns them, and replicated entries still serve the per-cluster cache
+// checks.
 func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
+	defer s.observeLatency(EndpointV1Batch, time.Now())
 	s.requests.Add(1)
 	s.epV1Batch.Add(1)
 	var req BatchRequest
@@ -549,9 +658,9 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 	missing := map[string]int{} // key → index of first cluster needing it
 	var missingOrder []string
 	for i, key := range keys {
-		if v, ok := s.cache.get(key); ok {
+		if v, ok := s.store.Get(key); ok {
 			s.hits.Add(1)
-			results[i] = BatchPlanResult{Cache: "hit", Plan: v.plan, Passes: v.passes}
+			results[i] = BatchPlanResult{Cache: "hit", Plan: v.Plan, Passes: v.Passes}
 			continue
 		}
 		s.misses.Add(1)
@@ -574,7 +683,7 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 		// Cache whatever completed even when the batch as a whole failed
 		// (PlanBatch returns partial results): a starved cluster under the
 		// shared budget must not force retries to re-pay its siblings' work.
-		fresh := map[string]cachedPlan{}
+		fresh := map[string]CachedPlan{}
 		for j, key := range missingOrder {
 			if j >= len(plans) || plans[j] == nil {
 				continue
@@ -595,8 +704,8 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 		}
 		for i, key := range keys {
 			if v, ok := fresh[key]; ok && results[i].Plan == nil {
-				results[i].Plan = v.plan
-				results[i].Passes = v.passes
+				results[i].Plan = v.Plan
+				results[i].Passes = v.Passes
 			}
 		}
 	}
@@ -606,34 +715,24 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 
 // encodePlan renders a synthesized plan into its cached wire forms: the
 // diffable JSON and the compact binary payload, plus the passes header.
-func encodePlan(p *hap.Plan) (cachedPlan, error) {
+func encodePlan(p *hap.Plan) (CachedPlan, error) {
 	var buf bytes.Buffer
 	if err := p.WriteProgram(&buf); err != nil {
-		return cachedPlan{}, err
+		return CachedPlan{}, err
 	}
 	var bin bytes.Buffer
 	if err := p.WriteProgramBinary(&bin); err != nil {
-		return cachedPlan{}, err
+		return CachedPlan{}, err
 	}
-	return cachedPlan{plan: buf.Bytes(), bin: bin.Bytes(), passes: passesHeader(p.Passes)}, nil
+	return CachedPlan{Plan: buf.Bytes(), Bin: bin.Bytes(), Passes: passesHeader(p.Passes)}, nil
 }
 
-// storePlan inserts a plan into the cache and, when persistence is on,
-// writes it through to disk — deleting the files of any entries the insert
-// evicted, so the directory tracks the LRU's contents. A plan the cache
-// rejected (over the byte cap on its own) is not persisted either: its file
-// would never be eviction-tracked and would accumulate forever.
-func (s *Server) storePlan(key string, v cachedPlan) {
-	stored, evicted := s.cache.add(key, v)
-	if s.persist == nil {
-		return
-	}
-	if stored {
-		s.persist.save(key, v)
-	}
-	for _, k := range evicted {
-		s.persist.remove(k)
-	}
+// storePlan inserts a freshly synthesized plan into the store (which
+// mirrors it to disk when persistence is on) and, when this node owns the
+// key, replicates it to the ring successors.
+func (s *Server) storePlan(key string, v CachedPlan) {
+	s.store.Put(key, v)
+	s.maybeReplicate(key, v)
 }
 
 // passesHeader renders the pass pipeline's per-pass rewrite counters as the
@@ -654,26 +753,28 @@ func passesHeader(ps hap.PassStats) string {
 	return b.String()
 }
 
-func writePlan(w http.ResponseWriter, plan cachedPlan, cache string, binary bool) {
+func writePlan(w http.ResponseWriter, plan CachedPlan, cache string, binary bool) {
 	w.Header().Set("X-HAP-Cache", cache)
-	if plan.passes != "" {
-		w.Header().Set("X-HAP-Passes", plan.passes)
+	if plan.Passes != "" {
+		w.Header().Set("X-HAP-Passes", plan.Passes)
 	}
-	if binary && len(plan.bin) > 0 {
+	if binary && len(plan.Bin) > 0 {
 		w.Header().Set("Content-Type", BinaryPlanContentType)
-		w.Write(plan.bin)
+		w.Write(plan.Bin)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(plan.plan)
+	w.Write(plan.Plan)
 }
 
 // healthzPayload is the GET /healthz body: liveness, the wire protocol
-// version, and the per-endpoint request counters.
+// version, the per-endpoint request counters, and (on a fleet node) the
+// fleet membership summary.
 type healthzPayload struct {
-	Status   string            `json:"status"`
-	Protocol string            `json:"protocol"`
-	Requests map[string]uint64 `json:"requests"`
+	Status   string              `json:"status"`
+	Protocol string              `json:"protocol"`
+	Requests map[string]uint64   `json:"requests"`
+	Fleet    *fleetHealthPayload `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -686,6 +787,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			EndpointV1:      s.epV1.Load(),
 			EndpointV1Batch: s.epV1Batch.Load(),
 		},
+		Fleet: s.fleetHealth(),
 	})
 }
 
@@ -694,48 +796,4 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.Stats())
-}
-
-// handleMetrics exposes the server counters in the Prometheus text
-// exposition format (version 0.0.4), so a scrape target needs no sidecar.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var b bytes.Buffer
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	fmt.Fprintf(&b, "# HELP hap_serve_protocol_info Wire protocol version served, as an info-style gauge.\n# TYPE hap_serve_protocol_info gauge\nhap_serve_protocol_info{version=%q} 1\n", st.Protocol)
-	counter("hap_serve_requests_total", "Plan requests across all endpoints.", st.Requests)
-	// Per-endpoint breakdown, in fixed order for a stable exposition.
-	fmt.Fprintf(&b, "# HELP hap_serve_requests_by_endpoint_total Plan requests, by wire endpoint.\n# TYPE hap_serve_requests_by_endpoint_total counter\n")
-	for _, ep := range []string{EndpointLegacy, EndpointV1, EndpointV1Batch} {
-		fmt.Fprintf(&b, "hap_serve_requests_by_endpoint_total{endpoint=%q} %d\n", ep, st.RequestsByEndpoint[ep])
-	}
-	counter("hap_serve_cache_hits_total", "Requests served straight from the plan cache.", st.CacheHits)
-	counter("hap_serve_cache_misses_total", "Requests that required (or joined) a synthesis.", st.CacheMisses)
-	counter("hap_serve_syntheses_total", "Plans actually synthesized.", st.Syntheses)
-	counter("hap_serve_flight_shared_total", "Cache misses that joined an in-flight synthesis.", st.FlightShared)
-	counter("hap_serve_errors_total", "Requests answered with an error status.", st.Errors)
-	counter("hap_serve_cache_evictions_total", "Plans evicted by the LRU caps.", st.CacheEvictions)
-	gauge("hap_serve_cache_entries", "Plans currently cached.", float64(st.CacheEntries))
-	gauge("hap_serve_cache_bytes", "Bytes of plans currently cached.", float64(st.CacheBytes))
-	gauge("hap_serve_cache_restored", "Plans reloaded from the cache directory on boot.", float64(st.CacheRestored))
-	gauge("hap_serve_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
-	counter("hap_serve_pass_runs_total", "Syntheses that ran the post-synthesis pass pipeline.", st.PassRuns)
-	counter("hap_serve_pass_rewrites_total", "Program rewrites applied by the pass pipeline.", st.PassRewrites)
-	// Per-pass breakdown, emitted in sorted order for a stable exposition.
-	fmt.Fprintf(&b, "# HELP hap_serve_pass_rewrites_by_total Program rewrites applied, by pass.\n# TYPE hap_serve_pass_rewrites_by_total counter\n")
-	names := make([]string, 0, len(st.PassRewritesBy))
-	for name := range st.PassRewritesBy {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(&b, "hap_serve_pass_rewrites_by_total{pass=%q} %d\n", name, st.PassRewritesBy[name])
-	}
-	w.Write(b.Bytes())
 }

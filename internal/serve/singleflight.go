@@ -18,7 +18,7 @@ import (
 
 type flightCall struct {
 	done chan struct{} // closed when fn has finished and val/err are set
-	val  cachedPlan
+	val  CachedPlan
 	err  error
 
 	mu     sync.Mutex
@@ -65,7 +65,7 @@ type flightGroup struct {
 // A panic in fn is converted to an error for every caller — the daemon
 // accepts arbitrary client graphs, and a panicking synthesis must not wedge
 // the key forever (waiters blocked on a channel that never closes).
-func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (cachedPlan, error)) (val cachedPlan, err error, shared bool) {
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (CachedPlan, error)) (val CachedPlan, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*flightCall{}
@@ -78,7 +78,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 		case <-c.done:
 			return c.val, c.err, true
 		case <-ctx.Done():
-			return cachedPlan{}, ctx.Err(), true
+			return CachedPlan{}, ctx.Err(), true
 		}
 	}
 	fctx, cancel := context.WithCancel(context.Background())
@@ -90,7 +90,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				c.val, c.err = cachedPlan{}, fmt.Errorf("synthesis panicked: %v", r)
+				c.val, c.err = CachedPlan{}, fmt.Errorf("synthesis panicked: %v", r)
 			}
 			close(c.done)
 			g.mu.Lock()

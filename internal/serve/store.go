@@ -1,0 +1,141 @@
+// PlanStore is the seam between the daemon's HTTP surface and its plan
+// storage. serve.go handles the wire protocol; everything that remembers a
+// plan — the in-memory LRU, the write-through disk mirror, a future
+// similarity index (ROADMAP ISSUE 8) — lives behind this interface. The
+// fleet layer leans on the same seam: replication pushes call Put, warm-up
+// streaming calls Range, and the stats surface reads Stats.
+
+package serve
+
+import (
+	"time"
+)
+
+// CachedPlan is one stored plan: both wire encodings plus the response
+// metadata served with it. The X-HAP-Passes header must survive caching — a
+// cache hit reports what the pass pipeline did when the plan was
+// synthesized, without clients scraping /stats. The binary form is cached
+// alongside the JSON so content negotiation never re-encodes. The byte
+// slices are shared between callers and must be treated as immutable.
+type CachedPlan struct {
+	Plan   []byte // WriteProgram JSON
+	Bin    []byte // WriteProgramBinary payload (may be empty for restored v1 files)
+	Passes string // X-HAP-Passes header value ("" = pipeline disabled)
+}
+
+func (v CachedPlan) size() int64 { return int64(len(v.Plan) + len(v.Bin) + len(v.Passes)) }
+
+// StoreStats is a PlanStore's bookkeeping snapshot, surfaced in /stats.
+type StoreStats struct {
+	Entries   int    // plans currently stored
+	Bytes     int64  // bytes currently stored
+	Evictions uint64 // plans evicted by capacity limits
+	Restored  int    // plans reloaded from persistence at construction
+}
+
+// PlanStore stores encoded plans under their content-address cache keys.
+// Implementations must be safe for concurrent use.
+type PlanStore interface {
+	// Get returns the stored plan and refreshes its recency.
+	Get(key string) (CachedPlan, bool)
+	// Put stores (or refreshes) a plan, reporting whether it was kept —
+	// a store may reject values over its caps.
+	Put(key string, v CachedPlan) bool
+	// Range calls fn for each stored plan until fn returns false. The
+	// iteration order is most- to least-recently used; fn sees a snapshot
+	// and may block (warm-up streams entries over the network).
+	Range(fn func(key string, v CachedPlan) bool)
+	// Stats returns the store's bookkeeping counters.
+	Stats() StoreStats
+}
+
+// memDiskStore is the default PlanStore: the bounded in-memory LRU with
+// optional write-through disk persistence. Inserts mirror to disk, LRU and
+// TTL evictions delete their files, and construction reloads the directory
+// in mtime order — so the directory converges to the LRU's actual contents
+// and a restart does not re-pay every synthesis.
+type memDiskStore struct {
+	cache    *lruCache
+	persist  *diskStore // nil = memory only
+	ttl      time.Duration
+	restored int
+}
+
+var _ PlanStore = (*memDiskStore)(nil)
+
+// newMemDiskStore builds the store and, when persist is non-nil, restores
+// its directory: files are replayed oldest-mtime first so the LRU's recency
+// order survives the restart, and files older than ttl are deleted instead
+// of restored.
+func newMemDiskStore(maxEntries int, maxBytes int64, persist *diskStore, ttl time.Duration) *memDiskStore {
+	s := &memDiskStore{
+		cache:   newLRUCache(maxEntries, maxBytes),
+		persist: persist,
+		ttl:     ttl,
+	}
+	if persist != nil {
+		var cutoff time.Time
+		if ttl > 0 {
+			cutoff = time.Now().Add(-ttl)
+		}
+		// Restore mirrors Put: entries the (possibly re-capped) cache
+		// rejects or evicts during the reload lose their files too, so the
+		// directory converges to the LRU's actual contents instead of
+		// re-reading stale plans on every boot.
+		s.restored = persist.load(cutoff, func(key string, v CachedPlan, mtime time.Time) bool {
+			stored, evicted := s.cache.add(key, v, mtime)
+			if !stored {
+				persist.remove(key)
+			}
+			for _, k := range evicted {
+				persist.remove(k)
+			}
+			return stored
+		})
+	}
+	return s
+}
+
+func (s *memDiskStore) Get(key string) (CachedPlan, bool) { return s.cache.get(key) }
+
+func (s *memDiskStore) Put(key string, v CachedPlan) bool {
+	stored, evicted := s.cache.add(key, v, time.Now())
+	if s.persist != nil {
+		if stored {
+			s.persist.save(key, v)
+		}
+		for _, k := range evicted {
+			s.persist.remove(k)
+		}
+	}
+	return stored
+}
+
+func (s *memDiskStore) Range(fn func(key string, v CachedPlan) bool) {
+	for _, e := range s.cache.entries() {
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
+func (s *memDiskStore) Stats() StoreStats {
+	entries, bytes, evictions := s.cache.snapshot()
+	return StoreStats{Entries: entries, Bytes: bytes, Evictions: evictions, Restored: s.restored}
+}
+
+// sweep evicts every entry older than the TTL, deleting its file — the GC
+// pass that keeps a long-lived -cache-dir from growing unbounded under a
+// slowly-rotating working set. A no-op without a TTL.
+func (s *memDiskStore) sweep(now time.Time) int {
+	if s.ttl <= 0 {
+		return 0
+	}
+	expired := s.cache.sweepExpired(now.Add(-s.ttl))
+	if s.persist != nil {
+		for _, k := range expired {
+			s.persist.remove(k)
+		}
+	}
+	return len(expired)
+}
