@@ -20,9 +20,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"hap"
 )
@@ -64,12 +66,64 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h
 // Useful for debugging with a packet capture, never required.
 func WithJSONPlans() Option { return func(c *Client) { c.jsonPlans = true } }
 
+// WithConditionalFetch makes Synthesize remember each response's entity tag
+// and body, and revalidate repeat requests with If-None-Match: the server
+// answers an unchanged plan with 304 Not Modified and no body, and the
+// client re-decodes its cached bytes. A trainer polling the daemon for a
+// drift-triggered replan pays header bytes per poll instead of a full plan
+// transfer — until the plan actually changes.
+func WithConditionalFetch() Option {
+	return func(c *Client) { c.cond = &condCache{entries: map[uint64]condEntry{}} }
+}
+
 // Client talks to one hap-serve daemon. Safe for concurrent use.
 type Client struct {
 	base      string
 	http      *http.Client
 	jsonPlans bool
 	retry     retryPolicy
+	cond      *condCache // nil = conditional fetch disabled
+}
+
+// condEntry is one remembered plan response: the tag the server issued and
+// the exact body bytes it tagged, in whichever encoding was negotiated.
+// Bodies are cached as bytes, not decoded plans, because a decoded plan is
+// bound to the caller's graph value — re-decoding per call keeps the cache
+// valid across distinct (but fingerprint-equal) graph instances.
+type condEntry struct {
+	etag   string
+	body   []byte
+	binary bool
+}
+
+// condCache maps a request's identity (path + marshalled body + negotiated
+// accept) to its last successful response. Safe for concurrent use.
+type condCache struct {
+	mu      sync.Mutex
+	entries map[uint64]condEntry
+}
+
+func condKey(path string, body []byte, accept string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, path)
+	h.Write([]byte{0})
+	h.Write(body)
+	h.Write([]byte{0})
+	io.WriteString(h, accept)
+	return h.Sum64()
+}
+
+func (cc *condCache) get(key uint64) (condEntry, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	e, ok := cc.entries[key]
+	return e, ok
+}
+
+func (cc *condCache) put(key uint64, e condEntry) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.entries[key] = e
 }
 
 // New returns a client for the daemon at base (e.g. "http://host:8080").
@@ -129,6 +183,13 @@ func (c *Client) post(ctx context.Context, path string, body any, accept string)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
+	return c.postData(ctx, path, data, accept, "")
+}
+
+// postData sends already-marshalled bytes. A non-empty ifNoneMatch makes the
+// request conditional; a 304 Not Modified is then a success the caller
+// resolves from its cache, not an error.
+func (c *Client) postData(ctx context.Context, path string, data []byte, accept, ifNoneMatch string) (*http.Response, error) {
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
 		if err != nil {
@@ -138,10 +199,16 @@ func (c *Client) post(ctx context.Context, path string, body any, accept string)
 		if accept != "" {
 			req.Header.Set("Accept", accept)
 		}
+		if ifNoneMatch != "" {
+			req.Header.Set("If-None-Match", ifNoneMatch)
+		}
 		return req, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode == http.StatusNotModified && ifNoneMatch != "" {
+		return resp, nil
 	}
 	if resp.StatusCode/100 != 2 {
 		defer resp.Body.Close()
@@ -175,20 +242,60 @@ func (c *Client) Synthesize(ctx context.Context, g *hap.Graph, cl *hap.Cluster, 
 	if c.jsonPlans {
 		accept = "application/json"
 	}
-	resp, err := c.post(ctx, "/v1/synthesize", request{Graph: gb, Cluster: cb, Options: opt}, accept)
+	data, err := json.Marshal(request{Graph: gb, Cluster: cb, Options: opt})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	const path = "/v1/synthesize"
+	// With conditional fetch on, revalidate the remembered response instead
+	// of re-downloading it: send its tag, and resolve a 304 from the cache.
+	var key uint64
+	var cached condEntry
+	ifNoneMatch := ""
+	if c.cond != nil {
+		key = condKey(path, data, accept)
+		if e, ok := c.cond.get(key); ok {
+			cached, ifNoneMatch = e, e.etag
+		}
+	}
+	resp, err := c.postData(ctx, path, data, accept, ifNoneMatch)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	ct := resp.Header.Get("Content-Type")
-	if strings.HasPrefix(ct, binaryPlanContentType) {
-		plan, err := hap.ReadProgramBinary(resp.Body, g)
+	if resp.StatusCode == http.StatusNotModified {
+		io.Copy(io.Discard, resp.Body)
+		return decodePlan(cached.body, cached.binary, g)
+	}
+	binary := strings.HasPrefix(resp.Header.Get("Content-Type"), binaryPlanContentType)
+	if c.cond == nil {
+		return decodePlanStream(resp.Body, binary, g)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading plan: %w", err)
+	}
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		c.cond.put(key, condEntry{etag: etag, body: raw, binary: binary})
+	}
+	return decodePlan(raw, binary, g)
+}
+
+// decodePlan decodes plan bytes in the negotiated encoding, binding to g.
+func decodePlan(body []byte, binary bool, g *hap.Graph) (*hap.Plan, error) {
+	return decodePlanStream(bytes.NewReader(body), binary, g)
+}
+
+// decodePlanStream decodes a plan from r in the negotiated encoding.
+func decodePlanStream(r io.Reader, binary bool, g *hap.Graph) (*hap.Plan, error) {
+	if binary {
+		plan, err := hap.ReadProgramBinary(r, g)
 		if err != nil {
 			return nil, fmt.Errorf("client: decoding binary plan: %w", err)
 		}
 		return plan, nil
 	}
-	plan, err := hap.ReadProgram(resp.Body, g)
+	plan, err := hap.ReadProgram(r, g)
 	if err != nil {
 		return nil, fmt.Errorf("client: decoding plan: %w", err)
 	}

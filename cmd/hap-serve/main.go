@@ -9,6 +9,8 @@
 //	          [-synth-budget 60s] [-cache-dir /var/lib/hap/plans] [-cache-ttl 0]
 //	          [-self URL] [-peers URL,URL] [-peers-file PATH] [-peers-poll 10s]
 //	          [-replicas 2] [-probe-interval 5s] [-warmup]
+//	          [-drift-threshold 0.1] [-telemetry-window 5m]
+//	          [-telemetry-file PATH] [-telemetry-poll 5s]
 //
 // Endpoints (wire protocol v2): POST /v1/synthesize, POST
 // /v1/synthesize/batch, the deprecated legacy POST /synthesize, GET/POST
@@ -24,6 +26,15 @@
 // and a booting node warms its cache from a peer. The peers file is
 // re-read on SIGHUP and polled every -peers-poll. See internal/serve and
 // README "Running a fleet".
+//
+// Live telemetry: POST /v1/telemetry ingests probe measurements (per-link
+// bandwidth/latency, per-device achieved TFLOPS) against the spec cluster
+// they measure; when the smoothed live view drifts past -drift-threshold,
+// cached plans for that cluster replan in the background and swap in only
+// after verification — clients keep getting the old plan (same ETag, 304 on
+// conditional fetch) until the replacement is ready. -telemetry-file polls
+// the same report format from disk for probe agents that write files
+// instead of speaking HTTP. See README "Live telemetry & replanning".
 package main
 
 import (
@@ -68,6 +79,14 @@ func main() {
 		"probe peer /healthz at this interval (0 = mark-down on proxy failure only)")
 	warmup := flag.Bool("warmup", true,
 		"on boot, stream cached entries from the first reachable peer (fleet mode only)")
+	driftThreshold := flag.Float64("drift-threshold", serve.DefaultDriftThreshold,
+		"cluster drift past which cached plans replan in the background (negative = disable replanning)")
+	telemetryWindow := flag.Duration("telemetry-window", 0,
+		"staleness horizon of probe estimates; older estimates revert to the spec (0 = 5m)")
+	telemetryFile := flag.String("telemetry-file", "",
+		"poll telemetry reports (one JSON report or an array) from this file, like POST /v1/telemetry")
+	telemetryPoll := flag.Duration("telemetry-poll", 5*time.Second,
+		"poll the telemetry file for size/mtime changes at this interval")
 	flag.Parse()
 
 	synthBudget := *budget
@@ -107,11 +126,18 @@ func main() {
 		SynthWorkers:    *workers,
 		CacheDir:        *cacheDir,
 		CacheTTL:        *cacheTTL,
+		DriftThreshold:  *driftThreshold,
+		TelemetryWindow: *telemetryWindow,
 		Fleet:           fl,
 	})
 	defer s.Close()
 	if *cacheDir != "" {
 		log.Printf("hap-serve: restored %d cached plans from %s", s.Stats().CacheRestored, *cacheDir)
+	}
+	if *telemetryFile != "" {
+		stop := s.StartTelemetryFile(*telemetryFile, *telemetryPoll)
+		defer stop()
+		log.Printf("hap-serve: polling telemetry from %s every %s", *telemetryFile, *telemetryPoll)
 	}
 
 	// Warm up from a peer before accepting traffic: every entry streamed in

@@ -110,7 +110,12 @@ func (c *Cluster) TotalGPUs() int {
 }
 
 // Homogeneous reports whether all virtual devices have identical capability.
+// An empty cluster is vacuously homogeneous — telemetry can materialize a
+// cluster with every device dropped out, and asking about it must not panic.
 func (c *Cluster) Homogeneous() bool {
+	if len(c.Devices) == 0 {
+		return true
+	}
 	for _, d := range c.Devices[1:] {
 		if d.Flops() != c.Devices[0].Flops() {
 			return false
@@ -120,8 +125,12 @@ func (c *Cluster) Homogeneous() bool {
 }
 
 // SpansMachines reports whether the virtual devices live on more than one
-// physical machine (so collectives cross the slow fabric).
+// physical machine (so collectives cross the slow fabric). An empty cluster
+// spans nothing.
 func (c *Cluster) SpansMachines() bool {
+	if len(c.Devices) == 0 {
+		return false
+	}
 	for _, d := range c.Devices[1:] {
 		if d.Machine != c.Devices[0].Machine {
 			return true
@@ -149,10 +158,15 @@ func (c *Cluster) EffectiveLatency() float64 {
 }
 
 // ProportionalRatios returns sharding ratios proportional to device flops —
-// the paper's DP-CP policy and HAP's B⁽⁰⁾ initialization.
+// the paper's DP-CP policy and HAP's B⁽⁰⁾ initialization. A cluster with no
+// achievable flops (every device dropped out, or zero-rated hardware) has no
+// proportional split; it degrades to even ratios instead of emitting NaNs.
 func (c *Cluster) ProportionalRatios() []float64 {
-	out := make([]float64, c.M())
 	total := c.TotalFlops()
+	if total <= 0 {
+		return c.EvenRatios()
+	}
+	out := make([]float64, c.M())
 	for i, d := range c.Devices {
 		out[i] = d.Flops() / total
 	}

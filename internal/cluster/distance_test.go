@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEmptyClusterGuards covers the drift-edge cases a telemetry-built
+// cluster hits when every device drops out: the accessors must degrade, not
+// panic or emit NaNs.
+func TestEmptyClusterGuards(t *testing.T) {
+	c := &Cluster{Net: DefaultNetwork()}
+	if !c.Homogeneous() {
+		t.Error("empty cluster should be vacuously homogeneous")
+	}
+	if c.SpansMachines() {
+		t.Error("empty cluster spans no machines")
+	}
+	if got := c.ProportionalRatios(); len(got) != 0 {
+		t.Errorf("ProportionalRatios on empty cluster = %v, want empty", got)
+	}
+	if got := c.EvenRatios(); len(got) != 0 {
+		t.Errorf("EvenRatios on empty cluster = %v, want empty", got)
+	}
+}
+
+// TestZeroFlopClusterRatios: a nonempty cluster whose devices all rate zero
+// flops has no proportional split — it must fall back to even ratios, never
+// NaN (NaN ratios poison the LP and every cost downstream).
+func TestZeroFlopClusterRatios(t *testing.T) {
+	c := &Cluster{
+		Net: DefaultNetwork(),
+		Devices: []VirtualDevice{
+			{Name: "d0", Type: DeviceType{Name: "dead", TFLOPS: 0, MemGB: 1}, GPUs: 1},
+			{Name: "d1", Type: DeviceType{Name: "dead", TFLOPS: 0, MemGB: 1}, GPUs: 1},
+		},
+	}
+	for i, r := range c.ProportionalRatios() {
+		if math.IsNaN(r) {
+			t.Fatalf("ProportionalRatios[%d] is NaN", i)
+		}
+		if r != 0.5 {
+			t.Errorf("ProportionalRatios[%d] = %v, want 0.5 (even fallback)", i, r)
+		}
+	}
+}
+
+// TestDecodeRejectsEmptyAndZeroFlop: the wire decoder must refuse clusters
+// the planner cannot use.
+func TestDecodeRejectsEmptyAndZeroFlop(t *testing.T) {
+	for name, body := range map[string]string{
+		"no devices": `{"version":1,"devices":[],"net":{"inter_bw":1e9,"intra_bw":1e11,"broadcast_factor":0.5}}`,
+		"zero flops": `{"version":1,"devices":[{"tflops":0,"mem_gb":16,"gpus":1,"machine":0}],"net":{"inter_bw":1e9,"intra_bw":1e11,"broadcast_factor":0.5}}`,
+	} {
+		if _, err := Decode(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: Decode accepted an unplannable cluster", name)
+		}
+	}
+}
+
+func TestDistanceIdentical(t *testing.T) {
+	a := PaperHeterogeneous(8)
+	b := PaperHeterogeneous(8)
+	if d := Distance(a, b); d != 0 {
+		t.Errorf("Distance of identical clusters = %v, want 0", d)
+	}
+	if d := Distance(a, a); d != 0 {
+		t.Errorf("Distance of a cluster to itself = %v, want 0", d)
+	}
+}
+
+// TestDistanceQuantifiesDrift: a link at half bandwidth is 0.5 away; a
+// device throttled by 20% is 0.2 away; the metric takes the max.
+func TestDistanceQuantifiesDrift(t *testing.T) {
+	a := PaperHomogeneous(8)
+
+	congested := PaperHomogeneous(8)
+	congested.Net.InterBW = a.Net.InterBW / 2
+	if d := Distance(a, congested); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("half inter bandwidth: Distance = %v, want 0.5", d)
+	}
+
+	throttled := PaperHomogeneous(8)
+	throttled.Devices[2].Type.TFLOPS *= 0.8
+	if d := Distance(a, throttled); math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("20%% device throttle: Distance = %v, want 0.2", d)
+	}
+
+	both := PaperHomogeneous(8)
+	both.Net.InterBW = a.Net.InterBW / 2
+	both.Devices[0].Type.TFLOPS *= 0.9
+	if d := Distance(a, both); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("combined drift: Distance = %v, want max = 0.5", d)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	a := PaperHomogeneous(8)
+	b := PaperHomogeneous(8)
+	b.Net.InterBW *= 3
+	b.Devices[1].Type.TFLOPS *= 0.7
+	if da, db := Distance(a, b), Distance(b, a); da != db {
+		t.Errorf("Distance not symmetric: %v vs %v", da, db)
+	}
+}
+
+// TestDistanceStructuralIsInfinite: losing a device, changing GPU counts, or
+// moving a device to another machine is not a ratio problem — it demands a
+// full replan, so the metric saturates.
+func TestDistanceStructuralIsInfinite(t *testing.T) {
+	a := PaperHeterogeneous(8)
+
+	lost := PaperHeterogeneous(8)
+	lost.Devices = lost.Devices[:len(lost.Devices)-1]
+	if d := Distance(a, lost); !math.IsInf(d, 1) {
+		t.Errorf("device loss: Distance = %v, want +Inf", d)
+	}
+
+	resized := PaperHeterogeneous(8)
+	resized.Devices[0].GPUs--
+	if d := Distance(a, resized); !math.IsInf(d, 1) {
+		t.Errorf("GPU count change: Distance = %v, want +Inf", d)
+	}
+
+	moved := PaperHeterogeneous(8)
+	moved.Devices[3].Machine = 0
+	if d := Distance(a, moved); !math.IsInf(d, 1) {
+		t.Errorf("machine move: Distance = %v, want +Inf", d)
+	}
+
+	if d := Distance(a, nil); !math.IsInf(d, 1) {
+		t.Errorf("nil cluster: Distance = %v, want +Inf", d)
+	}
+	if d := Distance(nil, nil); d != 0 {
+		t.Errorf("Distance(nil, nil) = %v, want 0", d)
+	}
+}

@@ -80,6 +80,12 @@ func Decode(r io.Reader) (*Cluster, error) {
 			Machine: d.Machine,
 		})
 	}
+	// Belt-and-suspenders: the per-device checks above already force every
+	// device to contribute positive flops, but the planner divides by
+	// TotalFlops, so an unplannable cluster must never escape Decode.
+	if c.TotalFlops() <= 0 {
+		return nil, fmt.Errorf("cluster: decode: cluster has no achievable flops")
+	}
 	n := cj.Net
 	if !finitePos(n.InterBW) || !finitePos(n.IntraBW) {
 		return nil, fmt.Errorf("cluster: decode: network bandwidths %v, %v (want positive finite)", n.InterBW, n.IntraBW)

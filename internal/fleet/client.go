@@ -42,6 +42,11 @@ type Entry struct {
 	Plan   []byte `json:"plan"`
 	Bin    []byte `json:"bin,omitempty"`
 	Passes string `json:"passes,omitempty"`
+	// Version and ETag carry the owner's plan-version metadata so a replica
+	// serves the same entity tag the owner does — a conditional fetch must
+	// see one answer fleet-wide.
+	Version uint64 `json:"version,omitempty"`
+	ETag    string `json:"etag,omitempty"`
 }
 
 // Client is the intra-fleet HTTP client. Safe for concurrent use.
@@ -62,9 +67,12 @@ func NewClient(timeout time.Duration) *Client {
 }
 
 // Forward relays a plan request to peer, marked with the forwarding node's
-// URL so the peer serves it locally. The caller relays the response (status,
-// plan headers, body) to its own client and must close the body.
-func (c *Client) Forward(ctx context.Context, peer, path string, body []byte, accept, from string) (*http.Response, error) {
+// URL so the peer serves it locally. A non-empty ifNoneMatch travels with the
+// forward so a warm client's conditional fetch stays conditional across the
+// proxy hop — the owner answers 304 and the proxy relays it without ever
+// moving the plan body. The caller relays the response (status, plan headers,
+// body) to its own client and must close the body.
+func (c *Client) Forward(ctx context.Context, peer, path string, body []byte, accept, from, ifNoneMatch string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, NormalizeURL(peer)+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -73,6 +81,9 @@ func (c *Client) Forward(ctx context.Context, peer, path string, body []byte, ac
 	req.Header.Set(ForwardHeader, from)
 	if accept != "" {
 		req.Header.Set("Accept", accept)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
 	}
 	return c.http.Do(req)
 }

@@ -10,6 +10,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -93,6 +94,12 @@ func (h *Health) Probe(ctx context.Context, peer string) error {
 		h.MarkDown(peer)
 		return err
 	}
+	// Drain before closing: a closed-but-undrained body forces the transport
+	// to tear the connection down, so every probe round would pay a fresh
+	// TCP (and TLS) handshake per peer instead of reusing keep-alive
+	// connections. The healthz body is a few bytes; the limit is a backstop
+	// against a misbehaving peer streaming forever.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		h.MarkDown(peer)
@@ -105,7 +112,10 @@ func (h *Health) Probe(ctx context.Context, peer string) error {
 // StartProbing probes every peer (except self) on an interval — the
 // recovery path that brings a MarkDown'd peer back once it answers
 // /healthz again. members is read each round so the prober follows
-// membership reloads. Returns a stop function.
+// membership reloads. Peers are probed concurrently within a round: probing
+// sequentially lets one dead peer's full timeout stretch the round past the
+// probe interval, delaying the recovery signal for every healthy peer behind
+// it. Returns a stop function.
 func (h *Health) StartProbing(self string, members func() []string, interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		return func() {}
@@ -119,17 +129,30 @@ func (h *Health) StartProbing(self string, members func() []string, interval tim
 			case <-done:
 				return
 			case <-ticker.C:
-				for _, peer := range members() {
-					if NormalizeURL(peer) == NormalizeURL(self) {
-						continue
-					}
-					ctx, cancel := context.WithTimeout(context.Background(), h.client.Timeout)
-					h.Probe(ctx, peer)
-					cancel()
-				}
+				h.probeRound(self, members())
 			}
 		}
 	}()
 	var once sync.Once
 	return func() { once.Do(func() { close(done) }) }
+}
+
+// probeRound probes every listed peer except self, concurrently, and waits
+// for the round to finish — one round's wall clock is the slowest single
+// probe (bounded by the probe timeout), not the sum over peers.
+func (h *Health) probeRound(self string, members []string) {
+	var wg sync.WaitGroup
+	for _, peer := range members {
+		if NormalizeURL(peer) == NormalizeURL(self) {
+			continue
+		}
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), h.client.Timeout)
+			defer cancel()
+			h.Probe(ctx, peer)
+		}(peer)
+	}
+	wg.Wait()
 }

@@ -26,8 +26,18 @@ type Membership struct {
 	ring    atomic.Pointer[Ring]
 	reloads atomic.Uint64 // successful reloads that changed the ring
 
-	mu        sync.Mutex // serializes Reload
+	mu sync.Mutex // serializes Reload and guards the poll stat below
+	// lastMtime/lastSize snapshot the peers file's stat at the last reload.
+	// The poller compares both: filesystems round mtimes (coarsely enough
+	// that two rewrites can land in one tick), so mtime alone misses a
+	// same-timestamp rewrite that changed the contents — the size catches
+	// the common case. Priming them at construction also stops the first
+	// poll tick from reloading a file nobody touched (the zero-valued
+	// lastMtime never equals a real mtime).
 	lastMtime time.Time
+	lastSize  int64
+
+	pollReloads atomic.Uint64 // reloads triggered by the mtime/size poller
 
 	stopPoll chan struct{}
 	pollOnce sync.Once
@@ -77,6 +87,13 @@ func (m *Membership) Reload() (changed bool, err error) {
 			return false, err
 		}
 		members = append(members, fromFile...)
+		// Snapshot the stat the content we just read corresponds to (best
+		// effort — a racing rewrite moves the mtime again and the next poll
+		// tick re-detects it).
+		if info, err := os.Stat(m.file); err == nil {
+			m.lastMtime = info.ModTime()
+			m.lastSize = info.Size()
+		}
 	}
 	next := NewRing(members)
 	prev := m.ring.Load()
@@ -112,10 +129,11 @@ func (m *Membership) StartPolling(interval time.Duration) (stop func()) {
 					continue // transient editor rename; next tick retries
 				}
 				m.mu.Lock()
-				dirty := info.ModTime() != m.lastMtime
-				m.lastMtime = info.ModTime()
+				dirty := info.ModTime() != m.lastMtime || info.Size() != m.lastSize
 				m.mu.Unlock()
 				if dirty {
+					m.pollReloads.Add(1)
+					// Reload re-reads the file and re-snapshots its stat.
 					m.Reload()
 				}
 			}

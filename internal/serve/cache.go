@@ -52,6 +52,19 @@ func (c *lruCache) get(key string) (CachedPlan, bool) {
 	return e.Value.(*cacheEntry).val, true
 }
 
+// peek returns the cached value without refreshing its recency — for
+// version-sequence lookups that must not promote an entry the client never
+// asked for.
+func (c *lruCache) peek(key string) (CachedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return CachedPlan{}, false
+	}
+	return e.Value.(*cacheEntry).val, true
+}
+
 // add inserts (or refreshes) a value stamped with time at, and evicts from
 // the LRU tail until both caps hold, reporting whether the value was stored
 // and which keys were evicted, so write-through persistence can mirror both

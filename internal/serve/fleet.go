@@ -145,7 +145,7 @@ func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Re
 		}
 	}
 	for _, peer := range append(healthy, down...) {
-		resp, err := f.Client.Forward(r.Context(), peer, "/v1/synthesize", body, accept, f.Self())
+		resp, err := f.Client.Forward(r.Context(), peer, "/v1/synthesize", body, accept, f.Self(), r.Header.Get("If-None-Match"))
 		if err != nil {
 			if errors.Is(err, context.Canceled) || r.Context().Err() != nil {
 				// The client went away mid-proxy: no verdict on the peer's
@@ -159,7 +159,7 @@ func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Re
 		}
 		f.Health.MarkUp(peer)
 		s.fleetProxied.Add(1)
-		for _, h := range []string{"Content-Type", "X-HAP-Cache", "X-HAP-Passes"} {
+		for _, h := range []string{"Content-Type", "X-HAP-Cache", "X-HAP-Passes", "ETag", PlanVersionHeader} {
 			if v := resp.Header.Get(h); v != "" {
 				w.Header().Set(h, v)
 			}
@@ -188,7 +188,7 @@ func (s *Server) maybeReplicate(key string, v CachedPlan) {
 	if len(set) < 2 || set[0] != f.Self() {
 		return
 	}
-	e := fleet.Entry{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes}
+	e := fleet.Entry{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes, Version: v.Version, ETag: v.ETag}
 	for _, peer := range set[1:] {
 		ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
 		err := f.Client.Replicate(ctx, peer, e)
@@ -216,7 +216,7 @@ func (s *Server) handleFleetEntries(w http.ResponseWriter, r *http.Request) {
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
 		s.store.Range(func(key string, v CachedPlan) bool {
-			if err := enc.Encode(fleet.Entry{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes}); err != nil {
+			if err := enc.Encode(fleet.Entry{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes, Version: v.Version, ETag: v.ETag}); err != nil {
 				return false // receiver went away; stop streaming
 			}
 			if flusher != nil {
@@ -237,7 +237,7 @@ func (s *Server) handleFleetEntries(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad entry: key and plan are required")
 			return
 		}
-		s.store.Put(e.Key, CachedPlan{Plan: e.Plan, Bin: e.Bin, Passes: e.Passes})
+		s.store.Put(e.Key, CachedPlan{Plan: e.Plan, Bin: e.Bin, Passes: e.Passes, Version: e.Version, ETag: e.ETag})
 		s.fleetReplicatedIn.Add(1)
 		w.WriteHeader(http.StatusNoContent)
 	default:
@@ -261,7 +261,7 @@ func (s *Server) WarmFrom(ctx context.Context, peers []string) (int, error) {
 			continue
 		}
 		n, err := f.Client.StreamEntries(ctx, peer, func(e fleet.Entry) bool {
-			s.store.Put(e.Key, CachedPlan{Plan: e.Plan, Bin: e.Bin, Passes: e.Passes})
+			s.store.Put(e.Key, CachedPlan{Plan: e.Plan, Bin: e.Bin, Passes: e.Passes, Version: e.Version, ETag: e.ETag})
 			return true
 		})
 		s.fleetWarmupEntries.Add(uint64(n))

@@ -113,6 +113,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range names {
 		fmt.Fprintf(&b, "hap_serve_pass_rewrites_by_total{pass=%q} %d\n", name, st.PassRewritesBy[name])
 	}
+	// Telemetry and replanning series are always exposed — a dashboard must
+	// distinguish "no drift" from "telemetry not wired up", so the counters
+	// and the max-drift gauge exist from the first scrape.
+	if ts := st.Telemetry; ts != nil {
+		counter("hap_serve_telemetry_reports_total", "Probe batches accepted by /v1/telemetry or the telemetry file.", ts.Reports)
+		counter("hap_serve_telemetry_rejects_total", "Probe batches rejected (unknown machine or device, malformed cluster).", ts.Rejects)
+		counter("hap_serve_replans_total", "Background replans that swapped a new plan into the cache.", ts.Replans)
+		counter("hap_serve_replans_unchanged_total", "Background replans whose output matched the cached plan byte-for-byte (no swap).", ts.ReplansUnchanged)
+		counter("hap_serve_replan_errors_total", "Background replans that failed to synthesize or verify.", ts.ReplanErrors)
+		gauge("hap_serve_telemetry_monitors", "Spec clusters with live telemetry monitors.", float64(ts.Monitors))
+		gauge("hap_serve_cluster_drift_max", "Largest current drift across monitored clusters.", ts.MaxDrift)
+		// Per-cluster drift, sorted by fingerprint for a stable exposition.
+		fmt.Fprintf(&b, "# HELP hap_serve_cluster_drift Current drift between a monitored spec cluster and its telemetry view.\n# TYPE hap_serve_cluster_drift gauge\n")
+		fps := make([]string, 0, len(ts.Drift))
+		for fp := range ts.Drift {
+			fps = append(fps, fp)
+		}
+		sort.Strings(fps)
+		for _, fp := range fps {
+			fmt.Fprintf(&b, "hap_serve_cluster_drift{cluster=%q} %g\n", fp, ts.Drift[fp])
+		}
+	}
 	if fs := st.Fleet; fs != nil {
 		gauge("hap_serve_fleet_peers", "Current fleet members, self included.", float64(len(fs.Peers)))
 		gauge("hap_serve_fleet_peers_down", "Fleet peers currently failing health checks.", float64(fs.PeersDown))

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,7 @@ import (
 	"hap/internal/cluster"
 	"hap/internal/fleet"
 	"hap/internal/graph"
+	"hap/internal/telemetry"
 )
 
 // ProtocolVersion names the serve wire protocol implemented by this build,
@@ -68,6 +70,10 @@ const ProtocolVersion = "v2"
 // BinaryPlanContentType is the media type of the compact binary plan
 // encoding, requested via the Accept header and returned as Content-Type.
 const BinaryPlanContentType = "application/x-hap-plan"
+
+// PlanVersionHeader carries the served plan's monotonic version (see
+// CachedPlan.Version) on every plan response, including 304s.
+const PlanVersionHeader = "X-HAP-Plan-Version"
 
 // Endpoint labels for the per-endpoint request counters and latency
 // histograms.
@@ -118,6 +124,15 @@ type Config struct {
 	// does not grow unbounded under a slowly-rotating working set
 	// (0 = never expire).
 	CacheTTL time.Duration
+	// DriftThreshold is the cluster drift (cluster.Distance between a spec
+	// and its telemetry-materialized live view) past which cached plans for
+	// that spec replan in the background (0 = DefaultDriftThreshold;
+	// negative = replanning disabled, telemetry still ingested).
+	DriftThreshold float64
+	// TelemetryWindow is the staleness horizon of probe estimates: an
+	// estimate with no sample newer than this reverts to the spec value
+	// (0 = the telemetry package default, 5 minutes).
+	TelemetryWindow time.Duration
 	// Fleet, when non-nil, makes this daemon one node of a sharded,
 	// replicated plan-cache fleet (see fleet.go and internal/fleet).
 	Fleet *fleet.Fleet
@@ -161,6 +176,11 @@ type BatchPlanResult struct {
 	Plan json.RawMessage `json:"plan"`
 	// Passes mirrors the X-HAP-Passes header ("" = pipeline disabled).
 	Passes string `json:"passes,omitempty"`
+	// Version and ETag mirror the X-HAP-Plan-Version and ETag headers of the
+	// single-plan endpoints (zero/empty on a plan that was synthesized but
+	// rejected by the store caps).
+	Version uint64 `json:"version,omitempty"`
+	ETag    string `json:"etag,omitempty"`
 }
 
 // ErrorEnvelope is the structured error body of the v1 endpoints.
@@ -219,6 +239,9 @@ type Stats struct {
 	PassRewritesBy map[string]uint64 `json:"pass_rewrites_by,omitempty"`
 	// Fleet reports the fleet-layer counters; nil on a standalone daemon.
 	Fleet *FleetStats `json:"fleet,omitempty"`
+	// Telemetry reports the probe-ingestion and replanning counters; always
+	// present so "no telemetry yet" is observable.
+	Telemetry *TelemetryStats `json:"telemetry"`
 }
 
 // Server is the plan-cache daemon. Create with New, mount via Handler.
@@ -259,6 +282,10 @@ type Server struct {
 	passRuns       uint64
 	passRewrites   uint64
 	passRewritesBy map[string]uint64
+
+	// telemetry is the probe-ingestion and background-replanning compartment
+	// (telemetry.go).
+	telemetry telemetryState
 }
 
 // New returns a Server with zero Config values filled from the defaults.
@@ -278,6 +305,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.SynthTimeBudget == 0 {
 		cfg.SynthTimeBudget = DefaultSynthTimeBudget
+	}
+	if cfg.DriftThreshold == 0 {
+		cfg.DriftThreshold = DefaultDriftThreshold
 	}
 	if cfg.Synthesize == nil {
 		cfg.Synthesize = func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
@@ -312,6 +342,11 @@ func New(cfg Config) *Server {
 			EndpointLegacy:  newHistogram(),
 			EndpointV1:      newHistogram(),
 			EndpointV1Batch: newHistogram(),
+		},
+		telemetry: telemetryState{
+			monitors: map[string]*telemetry.Monitor{},
+			sources:  map[string]planSource{},
+			replan:   map[string]bool{},
 		},
 	}
 	if cfg.CacheTTL > 0 {
@@ -358,6 +393,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/synthesize", s.handleLegacySynthesize)
 	mux.HandleFunc("/v1/synthesize", s.handleV1Synthesize)
 	mux.HandleFunc("/v1/synthesize/batch", s.handleV1Batch)
+	mux.HandleFunc("/v1/telemetry", s.handleTelemetry)
 	mux.HandleFunc(fleet.EntriesPath, s.handleFleetEntries)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -386,7 +422,8 @@ func (s *Server) Stats() Stats {
 			EndpointV1:      s.epV1.Load(),
 			EndpointV1Batch: s.epV1Batch.Load(),
 		},
-		Fleet: s.fleetStats(),
+		Fleet:     s.fleetStats(),
+		Telemetry: s.telemetryStats(),
 	}
 	s.passMu.Lock()
 	st.PassRuns = s.passRuns
@@ -558,7 +595,7 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 	}
 	if plan, ok := s.store.Get(key); ok {
 		s.hits.Add(1)
-		writePlan(w, plan, "hit", binary)
+		writePlan(w, r, plan, "hit", binary)
 		return
 	}
 	s.misses.Add(1)
@@ -598,8 +635,10 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 		}
 		// Cache before the flight key is released: a request arriving between
 		// flight completion and a later insert would synthesize a second time.
-		s.storePlan(key, v)
-		return v, nil
+		// Registering the source makes the entry eligible for drift-triggered
+		// background replanning (telemetry.go).
+		s.recordPlanSource(key, g, c, req.Options, c.Fingerprint())
+		return s.storePlan(key, v), nil
 	})
 	if shared {
 		s.flightShared.Add(1)
@@ -609,7 +648,7 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 		s.fail(w, v1, status, code, "synthesis failed: %v", err)
 		return
 	}
-	writePlan(w, plan, "miss", binary)
+	writePlan(w, r, plan, "miss", binary)
 }
 
 // handleV1Batch serves POST /v1/synthesize/batch: one graph against many
@@ -660,7 +699,7 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 	for i, key := range keys {
 		if v, ok := s.store.Get(key); ok {
 			s.hits.Add(1)
-			results[i] = BatchPlanResult{Cache: "hit", Plan: v.Plan, Passes: v.Passes}
+			results[i] = BatchPlanResult{Cache: "hit", Plan: v.Plan, Passes: v.Passes, Version: v.Version, ETag: v.ETag}
 			continue
 		}
 		s.misses.Add(1)
@@ -694,8 +733,9 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 				s.fail(w, true, http.StatusInternalServerError, CodeSynthesisFailed, "encoding plan: %v", err)
 				return
 			}
-			s.storePlan(key, v)
-			fresh[key] = v
+			c := clusters[missing[key]]
+			s.recordPlanSource(key, g, c, req.Options, c.Fingerprint())
+			fresh[key] = s.storePlan(key, v)
 		}
 		if batchErr != nil {
 			status, code := synthErrorCode(batchErr)
@@ -706,6 +746,8 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 			if v, ok := fresh[key]; ok && results[i].Plan == nil {
 				results[i].Plan = v.Plan
 				results[i].Passes = v.Passes
+				results[i].Version = v.Version
+				results[i].ETag = v.ETag
 			}
 		}
 	}
@@ -729,10 +771,20 @@ func encodePlan(p *hap.Plan) (CachedPlan, error) {
 
 // storePlan inserts a freshly synthesized plan into the store (which
 // mirrors it to disk when persistence is on) and, when this node owns the
-// key, replicates it to the ring successors.
-func (s *Server) storePlan(key string, v CachedPlan) {
+// key, replicates it to the ring successors. It returns the plan as stored —
+// with the version and ETag the store assigned — so the synthesis response
+// and the replication pushes carry the same metadata the next cache hit
+// will. A plan the store rejects (over its caps) is tagged locally: the
+// response still gets an ETag, just no stored version sequence.
+func (s *Server) storePlan(key string, v CachedPlan) CachedPlan {
 	s.store.Put(key, v)
+	if stored, ok := s.store.Get(key); ok {
+		v = stored
+	} else {
+		normalizePlan(&v, 1)
+	}
 	s.maybeReplicate(key, v)
+	return v
 }
 
 // passesHeader renders the pass pipeline's per-pass rewrite counters as the
@@ -753,10 +805,27 @@ func passesHeader(ps hap.PassStats) string {
 	return b.String()
 }
 
-func writePlan(w http.ResponseWriter, plan CachedPlan, cache string, binary bool) {
+// writePlan renders one cached plan, honoring conditional fetch: a request
+// whose If-None-Match matches the plan's current ETag gets 304 Not Modified
+// with no body — a warm client revalidating after a drift-triggered replan
+// pays a handful of header bytes instead of the full plan, until the swap
+// actually changes the content. The ETag and version headers ride on every
+// response (including the 304, per RFC 9110) so clients always hold the
+// current tag.
+func writePlan(w http.ResponseWriter, r *http.Request, plan CachedPlan, cache string, binary bool) {
 	w.Header().Set("X-HAP-Cache", cache)
 	if plan.Passes != "" {
 		w.Header().Set("X-HAP-Passes", plan.Passes)
+	}
+	if plan.ETag != "" {
+		w.Header().Set("ETag", plan.ETag)
+	}
+	if plan.Version > 0 {
+		w.Header().Set(PlanVersionHeader, strconv.FormatUint(plan.Version, 10))
+	}
+	if plan.ETag != "" && etagMatches(r.Header.Get("If-None-Match"), plan.ETag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
 	}
 	if binary && len(plan.Bin) > 0 {
 		w.Header().Set("Content-Type", BinaryPlanContentType)
@@ -765,6 +834,27 @@ func writePlan(w http.ResponseWriter, plan CachedPlan, cache string, binary bool
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(plan.Plan)
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-separated
+// list of entity tags, or "*" matching anything. Weak tags (W/ prefix)
+// compare by their opaque value — the weak comparison RFC 9110 prescribes
+// for If-None-Match.
+func etagMatches(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	for _, part := range strings.Split(ifNoneMatch, ",") {
+		tag := strings.TrimSpace(part)
+		if tag == "*" {
+			return true
+		}
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // healthzPayload is the GET /healthz body: liveness, the wire protocol

@@ -8,6 +8,8 @@
 package serve
 
 import (
+	"fmt"
+	"hash/fnv"
 	"time"
 )
 
@@ -21,9 +23,26 @@ type CachedPlan struct {
 	Plan   []byte // WriteProgram JSON
 	Bin    []byte // WriteProgramBinary payload (may be empty for restored v1 files)
 	Passes string // X-HAP-Passes header value ("" = pipeline disabled)
+	// Version counts how many times this key's content has been replaced on
+	// its owning node — 1 on first synthesis, bumped by each background
+	// replan. Replicas copy the owner's version verbatim, so the number is
+	// consistent fleet-wide (monotonic per key as long as the entry lives).
+	Version uint64
+	// ETag is the strong entity tag served with the plan and matched against
+	// If-None-Match: a quoted hash of the plan content. Content-derived, not
+	// version-derived, so a replan that lands on byte-identical output keeps
+	// warm clients' tags valid.
+	ETag string
 }
 
 func (v CachedPlan) size() int64 { return int64(len(v.Plan) + len(v.Bin) + len(v.Passes)) }
+
+// ETagFor derives the strong entity tag for a plan's JSON content.
+func ETagFor(plan []byte) string {
+	h := fnv.New64a()
+	h.Write(plan)
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
 
 // StoreStats is a PlanStore's bookkeeping snapshot, surfaced in /stats.
 type StoreStats struct {
@@ -83,6 +102,7 @@ func newMemDiskStore(maxEntries int, maxBytes int64, persist *diskStore, ttl tim
 		// directory converges to the LRU's actual contents instead of
 		// re-reading stale plans on every boot.
 		s.restored = persist.load(cutoff, func(key string, v CachedPlan, mtime time.Time) bool {
+			normalizePlan(&v, 1) // files from before versioning restore as v1
 			stored, evicted := s.cache.add(key, v, mtime)
 			if !stored {
 				persist.remove(key)
@@ -98,7 +118,18 @@ func newMemDiskStore(maxEntries int, maxBytes int64, persist *diskStore, ttl tim
 
 func (s *memDiskStore) Get(key string) (CachedPlan, bool) { return s.cache.get(key) }
 
+// Put stores v, filling in the version/ETag metadata when the caller left it
+// zero: the ETag is derived from the plan content, and the version continues
+// the stored entry's sequence (first insert = 1, replacement = previous + 1).
+// Entries arriving with explicit metadata — fleet replication, warm-up
+// streaming — keep the owner's values so the tag means the same bytes
+// fleet-wide.
 func (s *memDiskStore) Put(key string, v CachedPlan) bool {
+	nextVersion := uint64(1)
+	if prev, ok := s.cache.peek(key); ok {
+		nextVersion = prev.Version + 1
+	}
+	normalizePlan(&v, nextVersion)
 	stored, evicted := s.cache.add(key, v, time.Now())
 	if s.persist != nil {
 		if stored {
@@ -122,6 +153,17 @@ func (s *memDiskStore) Range(fn func(key string, v CachedPlan) bool) {
 func (s *memDiskStore) Stats() StoreStats {
 	entries, bytes, evictions := s.cache.snapshot()
 	return StoreStats{Entries: entries, Bytes: bytes, Evictions: evictions, Restored: s.restored}
+}
+
+// normalizePlan fills zero-valued response metadata: a content-derived ETag
+// and the given version.
+func normalizePlan(v *CachedPlan, version uint64) {
+	if v.ETag == "" {
+		v.ETag = ETagFor(v.Plan)
+	}
+	if v.Version == 0 {
+		v.Version = version
+	}
 }
 
 // sweep evicts every entry older than the TTL, deleting its file — the GC

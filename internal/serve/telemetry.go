@@ -1,0 +1,436 @@
+// The telemetry layer of the daemon: live probe ingestion and background
+// replanning. The cache (and the fleet built on it) treats a plan as valid
+// forever because its key — graph fingerprint, cluster fingerprint, options —
+// is immutable. The cluster the key describes is not: links congest, GPUs
+// throttle, machines drop out. This file closes that loop.
+//
+//	POST /v1/telemetry   {"cluster", "links", "devices"} → drift verdict
+//
+// Each report feeds a telemetry.Monitor keyed by the spec cluster's
+// fingerprint (EWMA-smoothed, windowed — see internal/telemetry). When the
+// materialized live view drifts past Config.DriftThreshold, every cached
+// entry synthesized against that spec is replanned in the background against
+// the drifted cluster. The old plan keeps serving — same key, same ETag —
+// until the replacement synthesizes AND verifies (hap.Verify executes the
+// candidate before the swap); only then does the store swap bump the plan
+// version and change the entity tag, at which point a conditional fetch
+// stops answering 304 and delivers the new plan. A replan that lands on
+// byte-identical output is not swapped at all, so warm clients' tags stay
+// valid across no-op replans.
+//
+// The same report body can be polled from disk (-telemetry-file), mirroring
+// the -peers-file pattern: an external probe agent appends measurements to a
+// file and the daemon picks them up on size-or-mtime change.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"hap"
+	"hap/internal/cluster"
+	"hap/internal/graph"
+	"hap/internal/telemetry"
+)
+
+// DefaultDriftThreshold is the drift past which cached plans replan: 10%
+// relative change in any measured quantity. Below it a replan would mostly
+// reshuffle within cost-model noise; above it the paper's load-balancing
+// gains are being left on the table.
+const DefaultDriftThreshold = 0.10
+
+// replanVerifySeed seeds the hap.Verify run that gates every replan swap.
+const replanVerifySeed = 7
+
+// TelemetryRequest is the body of POST /v1/telemetry and one entry of the
+// -telemetry-file format: the spec cluster the samples measure (identifying
+// the monitor) plus the probe batch.
+type TelemetryRequest struct {
+	Cluster json.RawMessage          `json:"cluster"`
+	Links   []telemetry.LinkSample   `json:"links,omitempty"`
+	Devices []telemetry.DeviceSample `json:"devices,omitempty"`
+}
+
+// TelemetryResponse is the POST /v1/telemetry answer: the monitor's verdict
+// after folding the batch in.
+type TelemetryResponse struct {
+	// Cluster is the spec cluster's fingerprint — the monitor key.
+	Cluster string `json:"cluster"`
+	// Distance is the current drift between spec and live view (see
+	// cluster.Distance), capped at math.MaxFloat64 for JSON's sake when a
+	// device dropped out (the true distance is +Inf).
+	Distance float64 `json:"distance"`
+	// Drifted reports whether Distance crossed the replan threshold.
+	Drifted bool `json:"drifted"`
+	// ReplansStarted is how many cached entries began replanning in the
+	// background because of this report.
+	ReplansStarted int `json:"replans_started"`
+	// Samples is the monitor's lifetime ingested-sample count.
+	Samples uint64 `json:"samples"`
+}
+
+// TelemetryStats is the telemetry slice of /stats.
+type TelemetryStats struct {
+	// Reports counts accepted probe batches; Rejects counts batches refused
+	// (unknown machine or device, malformed cluster).
+	Reports uint64 `json:"reports"`
+	Rejects uint64 `json:"rejects"`
+	// Monitors is how many spec clusters have live monitors.
+	Monitors int `json:"monitors"`
+	// Replans counts background replans that swapped a new plan in;
+	// ReplansUnchanged counts replans whose output was byte-identical to the
+	// cached plan (no swap, ETag untouched); ReplanErrors counts replans that
+	// failed to synthesize or verify (the old plan keeps serving).
+	Replans          uint64 `json:"replans"`
+	ReplansUnchanged uint64 `json:"replans_unchanged"`
+	ReplanErrors     uint64 `json:"replan_errors"`
+	// Drift maps each monitored spec fingerprint to its current distance;
+	// MaxDrift is the largest (0 when nothing is monitored).
+	Drift    map[string]float64 `json:"drift,omitempty"`
+	MaxDrift float64            `json:"max_drift"`
+}
+
+// planSource remembers what a locally synthesized cache entry was planned
+// from, so drift in the source cluster can replan the entry without the
+// original request. Entries are registered on successful local synthesis
+// only — a replicated or warmed-up entry replans on its owner, and the
+// replacement re-replicates through the normal path.
+type planSource struct {
+	g    *graph.Graph
+	spec *cluster.Cluster
+	opts RequestOptions
+	// specFP is spec.Fingerprint(), precomputed for the replan scan.
+	specFP string
+	// plannedFP fingerprints the cluster the cached content was actually
+	// planned against — the spec at first synthesis, the drifted view after
+	// a replan. Replanning is idempotent per view: a second report of the
+	// same drift finds plannedFP already current and starts nothing.
+	plannedFP string
+}
+
+// telemetryState is the Server's telemetry compartment.
+type telemetryState struct {
+	mu       sync.Mutex
+	monitors map[string]*telemetry.Monitor // spec fingerprint → monitor
+	sources  map[string]planSource         // cache key → what it was planned from
+	replan   map[string]bool               // cache keys replanning right now
+
+	reports          uint64
+	rejects          uint64
+	replans          uint64
+	replansUnchanged uint64
+	replanErrors     uint64
+}
+
+// recordPlanSource registers a locally synthesized entry for drift-triggered
+// replanning. plannedFP is the fingerprint of the cluster the plan was
+// synthesized against.
+func (s *Server) recordPlanSource(key string, g *graph.Graph, spec *cluster.Cluster, opts RequestOptions, plannedFP string) {
+	t := &s.telemetry
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	src, ok := t.sources[key]
+	if !ok {
+		src = planSource{g: g, spec: spec, opts: opts, specFP: spec.Fingerprint()}
+	}
+	src.plannedFP = plannedFP
+	t.sources[key] = src
+}
+
+// monitorFor returns (creating on first use) the monitor for spec.
+func (s *Server) monitorFor(spec *cluster.Cluster) (*telemetry.Monitor, string, error) {
+	fp := spec.Fingerprint()
+	t := &s.telemetry
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m, ok := t.monitors[fp]; ok {
+		return m, fp, nil
+	}
+	m, err := telemetry.New(spec, telemetry.Config{Window: s.cfg.TelemetryWindow})
+	if err != nil {
+		return nil, fp, err
+	}
+	t.monitors[fp] = m
+	return m, fp, nil
+}
+
+// handleTelemetry serves POST /v1/telemetry.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	var req TelemetryRequest
+	if !s.decodePlanRequest(w, r, true, &req) {
+		return
+	}
+	if len(req.Cluster) == 0 {
+		s.telemetry.addReject()
+		s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad request: cluster is required")
+		return
+	}
+	resp, err := s.ingestTelemetry(req)
+	if err != nil {
+		s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// ingestTelemetry folds one report into its monitor and, past the drift
+// threshold, kicks off background replans. Shared by the HTTP endpoint and
+// the -telemetry-file poller.
+func (s *Server) ingestTelemetry(req TelemetryRequest) (TelemetryResponse, error) {
+	spec, err := cluster.Decode(bytes.NewReader(req.Cluster))
+	if err != nil {
+		s.telemetry.addReject()
+		return TelemetryResponse{}, err
+	}
+	mon, fp, err := s.monitorFor(spec)
+	if err != nil {
+		s.telemetry.addReject()
+		return TelemetryResponse{}, err
+	}
+	if err := mon.Ingest(telemetry.Report{Links: req.Links, Devices: req.Devices}); err != nil {
+		s.telemetry.addReject()
+		return TelemetryResponse{}, err
+	}
+	t := &s.telemetry
+	t.mu.Lock()
+	t.reports++
+	t.mu.Unlock()
+	dist := mon.Distance()
+	resp := TelemetryResponse{
+		Cluster:  fp,
+		Distance: jsonSafeDrift(dist),
+		Drifted:  s.cfg.DriftThreshold > 0 && dist > s.cfg.DriftThreshold,
+		Samples:  mon.Samples(),
+	}
+	if resp.Drifted {
+		resp.ReplansStarted = s.replanForSpec(fp, mon)
+	}
+	return resp, nil
+}
+
+// replanForSpec scans the plan-source registry for cached entries planned
+// from the drifted spec and starts a background replan for each one whose
+// content is stale relative to the live view. Returns how many replans were
+// started. Per-key idempotent: an entry already replanning, or already
+// planned against the current view, is skipped.
+func (s *Server) replanForSpec(specFP string, mon *telemetry.Monitor) int {
+	drifted := mon.Cluster()
+	// The live view may be unplannable — every device down, or throttled to
+	// zero. Keep serving the old plans; replanning against nothing helps
+	// nobody.
+	if len(drifted.Devices) == 0 || drifted.TotalFlops() <= 0 {
+		return 0
+	}
+	driftedFP := drifted.Fingerprint()
+	t := &s.telemetry
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	started := 0
+	for key, src := range t.sources {
+		if src.specFP != specFP || src.plannedFP == driftedFP || t.replan[key] {
+			continue
+		}
+		old, ok := s.store.Get(key)
+		if !ok {
+			// Evicted since synthesis: nothing to refresh, drop the source.
+			delete(t.sources, key)
+			continue
+		}
+		t.replan[key] = true
+		started++
+		go s.replanOne(key, src, drifted, driftedFP, old)
+	}
+	return started
+}
+
+// replanOne synthesizes one cached entry against the drifted cluster and
+// swaps it in only after the result verifies. The old plan serves throughout:
+// a failed synthesis, a failed verification, or an unchanged result all leave
+// the cache exactly as it was.
+func (s *Server) replanOne(key string, src planSource, drifted *cluster.Cluster, driftedFP string, old CachedPlan) {
+	t := &s.telemetry
+	defer func() {
+		t.mu.Lock()
+		delete(t.replan, key)
+		t.mu.Unlock()
+	}()
+	ctx := context.Background()
+	if s.cfg.SynthTimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SynthTimeBudget)
+		defer cancel()
+	}
+	s.syntheses.Add(1)
+	p, err := s.cfg.Synthesize(ctx, src.g, drifted, s.hapOptions(src.opts))
+	if err != nil {
+		t.addReplanError()
+		log.Printf("serve: replan %s: synthesis: %v", key, err)
+		return
+	}
+	// Verify before swap: the drifted cluster is measurement-derived, and a
+	// plan that fails execution-equivalence must never replace one that works.
+	if err := hap.Verify(p, drifted.M(), replanVerifySeed); err != nil {
+		t.addReplanError()
+		log.Printf("serve: replan %s: verify: %v", key, err)
+		return
+	}
+	s.recordPassStats(p.Passes)
+	v, err := encodePlan(p)
+	if err != nil {
+		t.addReplanError()
+		log.Printf("serve: replan %s: encode: %v", key, err)
+		return
+	}
+	if bytes.Equal(v.Plan, old.Plan) {
+		// Same bytes: no swap, no version bump, warm clients' tags stay
+		// valid. Mark the source current so this view does not re-replan.
+		t.mu.Lock()
+		t.replansUnchanged++
+		if src, ok := t.sources[key]; ok {
+			src.plannedFP = driftedFP
+			t.sources[key] = src
+		}
+		t.mu.Unlock()
+		return
+	}
+	// The store assigns the bumped version and the new content tag; the fleet
+	// path re-replicates the replacement to the ring successors exactly like
+	// a fresh synthesis.
+	s.storePlan(key, v)
+	t.mu.Lock()
+	t.replans++
+	if src, ok := t.sources[key]; ok {
+		src.plannedFP = driftedFP
+		t.sources[key] = src
+	}
+	t.mu.Unlock()
+}
+
+// StartTelemetryFile polls path every interval and feeds its contents through
+// the same ingestion path as POST /v1/telemetry, mirroring the -peers-file
+// pattern for environments where the probe agent writes a file instead of
+// speaking HTTP. The file holds one TelemetryRequest JSON object, or a JSON
+// array of them. Reloads trigger on size-or-mtime change (same rationale as
+// the membership poller: mtime granularity alone misses rapid rewrites); the
+// file is also applied once at start. Returns a stop function.
+func (s *Server) StartTelemetryFile(path string, interval time.Duration) func() {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	stop := make(chan struct{})
+	var lastMtime time.Time
+	var lastSize int64
+	apply := func() {
+		info, err := os.Stat(path)
+		if err != nil {
+			return // absent file: the probe agent has not written yet
+		}
+		if info.ModTime() == lastMtime && info.Size() == lastSize {
+			return
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return
+		}
+		lastMtime, lastSize = info.ModTime(), info.Size()
+		for _, req := range decodeTelemetryFile(data) {
+			if _, err := s.ingestTelemetry(req); err != nil {
+				log.Printf("serve: telemetry file %s: %v", path, err)
+			}
+		}
+	}
+	apply()
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				apply()
+			}
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// decodeTelemetryFile parses a telemetry file: a JSON array of reports or a
+// single report object. Malformed content decodes to nothing.
+func decodeTelemetryFile(data []byte) []TelemetryRequest {
+	var many []TelemetryRequest
+	if err := json.Unmarshal(data, &many); err == nil {
+		return many
+	}
+	var one TelemetryRequest
+	if err := json.Unmarshal(data, &one); err == nil && len(one.Cluster) > 0 {
+		return []TelemetryRequest{one}
+	}
+	return nil
+}
+
+// telemetryStats assembles the /stats telemetry slice. Always non-nil: the
+// counters (and the max-drift gauge derived from them) must be visible on a
+// scrape before the first report arrives, or dashboards cannot tell "no
+// drift" from "no telemetry wiring".
+func (s *Server) telemetryStats() *TelemetryStats {
+	t := &s.telemetry
+	t.mu.Lock()
+	monitors := make(map[string]*telemetry.Monitor, len(t.monitors))
+	for fp, m := range t.monitors {
+		monitors[fp] = m
+	}
+	ts := &TelemetryStats{
+		Reports:          t.reports,
+		Rejects:          t.rejects,
+		Monitors:         len(t.monitors),
+		Replans:          t.replans,
+		ReplansUnchanged: t.replansUnchanged,
+		ReplanErrors:     t.replanErrors,
+	}
+	t.mu.Unlock()
+	// Distance() synthesizes the live view per monitor; compute outside the
+	// telemetry lock so a slow materialization cannot block ingestion.
+	if len(monitors) > 0 {
+		ts.Drift = make(map[string]float64, len(monitors))
+		for fp, m := range monitors {
+			d := jsonSafeDrift(m.Distance())
+			ts.Drift[fp] = d
+			if d > ts.MaxDrift {
+				ts.MaxDrift = d
+			}
+		}
+	}
+	return ts
+}
+
+func (t *telemetryState) addReject() {
+	t.mu.Lock()
+	t.rejects++
+	t.mu.Unlock()
+}
+
+func (t *telemetryState) addReplanError() {
+	t.mu.Lock()
+	t.replanErrors++
+	t.mu.Unlock()
+}
+
+// jsonSafeDrift caps +Inf (a dropped device) at math.MaxFloat64: the JSON
+// encoder rejects infinities, and "largest representable drift" preserves
+// every threshold comparison a consumer might make.
+func jsonSafeDrift(d float64) float64 {
+	if math.IsInf(d, 1) {
+		return math.MaxFloat64
+	}
+	return d
+}

@@ -1,0 +1,476 @@
+// Tests for the telemetry layer: drift verdicts over the wire, the
+// background-replan swap discipline (old plan + old ETag until the
+// replacement verifies, then a version bump and a new tag), plan versioning
+// through the store, the telemetry file poller, and the metrics exposition
+// of the replanning counters.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hap"
+	"hap/internal/cluster"
+	"hap/internal/graph"
+	"hap/internal/telemetry"
+)
+
+// telemetryBody assembles a POST /v1/telemetry body for spec.
+func telemetryBody(t *testing.T, spec *cluster.Cluster, req TelemetryRequest) []byte {
+	t.Helper()
+	var cb bytes.Buffer
+	if err := spec.Encode(&cb); err != nil {
+		t.Fatal(err)
+	}
+	req.Cluster = cb.Bytes()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// postTelemetry POSTs a telemetry report and decodes the verdict.
+func postTelemetry(t *testing.T, url string, body []byte) (int, TelemetryResponse, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/telemetry", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr TelemetryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			t.Fatalf("decode telemetry response: %v (%s)", err, raw)
+		}
+	}
+	return resp.StatusCode, tr, raw
+}
+
+// postConditional POSTs a synthesize request with an optional If-None-Match
+// tag and returns the response status, ETag, version header, and body.
+func postConditional(t *testing.T, url string, body []byte, ifNoneMatch string) (int, string, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/synthesize", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), resp.Header.Get(PlanVersionHeader), raw
+}
+
+// achievedTFLOPS is device i's spec achieved throughput in TFLOPS — the
+// number a probe agent would report when the device performs exactly to spec.
+func achievedTFLOPS(c *cluster.Cluster, i int) float64 {
+	return c.Devices[i].Flops() / 1e12
+}
+
+// TestTelemetryDriftVerdict exercises the ingest endpoint's verdicts: a
+// to-spec report is not drifted, a large throughput drop is, and a sample
+// naming an unknown device rejects the batch with a structured 400.
+func TestTelemetryDriftVerdict(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := testCluster()
+
+	status, tr, raw := postTelemetry(t, srv.URL, telemetryBody(t, c, TelemetryRequest{
+		Devices: []telemetry.DeviceSample{{Device: 0, TFLOPS: achievedTFLOPS(c, 0)}},
+	}))
+	if status != http.StatusOK {
+		t.Fatalf("to-spec report: status %d: %s", status, raw)
+	}
+	if tr.Drifted || tr.Distance > 1e-9 {
+		t.Errorf("to-spec report: drifted=%v distance=%v, want no drift", tr.Drifted, tr.Distance)
+	}
+
+	// Halve device 0's throughput. The EWMA blends the outlier against the
+	// to-spec baseline: one sample moves the estimate alpha × 50% = 15% —
+	// already past the 10% threshold, but far from the raw 50%. No cached
+	// plans exist, so no replans start.
+	status, tr, raw = postTelemetry(t, srv.URL, telemetryBody(t, c, TelemetryRequest{
+		Devices: []telemetry.DeviceSample{{Device: 0, TFLOPS: achievedTFLOPS(c, 0) * 0.5}},
+	}))
+	if status != http.StatusOK {
+		t.Fatalf("drifted report: status %d: %s", status, raw)
+	}
+	if !tr.Drifted {
+		t.Errorf("halved throughput not flagged as drifted (distance %v)", tr.Distance)
+	}
+	if tr.Distance < 0.14 || tr.Distance > 0.16 {
+		t.Errorf("distance = %v, want ~0.15 (alpha-smoothed half-throughput sample)", tr.Distance)
+	}
+	if tr.ReplansStarted != 0 {
+		t.Errorf("replans started with an empty cache: %d", tr.ReplansStarted)
+	}
+
+	// Unknown device: the whole batch must reject, loudly.
+	status, _, raw = postTelemetry(t, srv.URL, telemetryBody(t, c, TelemetryRequest{
+		Devices: []telemetry.DeviceSample{{Device: 99, TFLOPS: 10}},
+	}))
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown device: status %d, want 400: %s", status, raw)
+	}
+	if !strings.Contains(string(raw), CodeBadRequest) {
+		t.Errorf("unknown device: body %s lacks the %s envelope", raw, CodeBadRequest)
+	}
+
+	st := getStats(t, srv.URL)
+	if st.Telemetry == nil {
+		t.Fatal("stats lack the telemetry slice")
+	}
+	if st.Telemetry.Reports != 2 || st.Telemetry.Rejects != 1 {
+		t.Errorf("telemetry stats reports=%d rejects=%d, want 2/1", st.Telemetry.Reports, st.Telemetry.Rejects)
+	}
+}
+
+// TestTelemetryBackgroundReplan is the acceptance test for the tentpole:
+// after drift past the threshold, the affected cache entry replans in the
+// background while the pre-drift plan keeps serving (same ETag, 304 on
+// conditional fetch); once the replacement verifies and swaps, the version
+// bumps, the tag changes, a stale conditional fetch gets the new body, and a
+// fresh conditional fetch 304s against the new tag.
+func TestTelemetryBackgroundReplan(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic32
+	s := New(Config{
+		Synthesize: func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			// First call is the foreground synthesis; later calls are
+			// background replans, held at the gate so the test can observe
+			// the old plan serving mid-replan.
+			if calls.inc() > 1 {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return hap.NewPlanner(c, hap.WithOptions(opt)).Plan(ctx, g)
+		},
+	})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := testCluster()
+	body := requestBody(t, testGraph(t), c, RequestOptions{})
+
+	status, etag1, ver1, plan1 := postConditional(t, srv.URL, body, "")
+	if status != http.StatusOK {
+		t.Fatalf("synthesis: status %d: %s", status, plan1)
+	}
+	if etag1 == "" || ver1 != "1" {
+		t.Fatalf("synthesis response: ETag %q, version %q, want a tag and version 1", etag1, ver1)
+	}
+	// Warm-client revalidation before any drift: 304, no body.
+	status, etag, _, respBody := postConditional(t, srv.URL, body, etag1)
+	if status != http.StatusNotModified || len(respBody) != 0 {
+		t.Fatalf("conditional fetch pre-drift: status %d, body %d bytes, want 304 empty", status, len(respBody))
+	}
+	if etag != etag1 {
+		t.Errorf("304 carried ETag %q, want %q", etag, etag1)
+	}
+
+	// Degrade the cluster: the cross-machine link drops to half bandwidth and
+	// device 0 throttles to half throughput. The replan starts and blocks at
+	// the gate.
+	status, tr, raw := postTelemetry(t, srv.URL, telemetryBody(t, c, TelemetryRequest{
+		Links:   []telemetry.LinkSample{{FromMachine: 0, ToMachine: 1, Bandwidth: c.Net.InterBW * 0.5}},
+		Devices: []telemetry.DeviceSample{{Device: 0, TFLOPS: achievedTFLOPS(c, 0) * 0.5}},
+	}))
+	if status != http.StatusOK {
+		t.Fatalf("telemetry: status %d: %s", status, raw)
+	}
+	if !tr.Drifted || tr.ReplansStarted != 1 {
+		t.Fatalf("telemetry verdict drifted=%v replans=%d, want true/1", tr.Drifted, tr.ReplansStarted)
+	}
+
+	// Mid-replan: the old plan serves, with the old tag and version.
+	status, etag, ver, respBody := postConditional(t, srv.URL, body, "")
+	if status != http.StatusOK || !bytes.Equal(respBody, plan1) {
+		t.Fatalf("mid-replan fetch: status %d, body changed=%v, want the pre-drift plan", status, !bytes.Equal(respBody, plan1))
+	}
+	if etag != etag1 || ver != "1" {
+		t.Errorf("mid-replan fetch: ETag %q version %q, want %q/1", etag, ver, etag1)
+	}
+	if status, _, _, _ := postConditional(t, srv.URL, body, etag1); status != http.StatusNotModified {
+		t.Errorf("mid-replan conditional fetch: status %d, want 304", status)
+	}
+
+	// Release the replan and wait for the swap: version 2, a new tag.
+	close(gate)
+	var etag2, ver2 string
+	var plan2 []byte
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		status, etag2, ver2, plan2 = postConditional(t, srv.URL, body, "")
+		if status != http.StatusOK {
+			t.Fatalf("post-release fetch: status %d: %s", status, plan2)
+		}
+		if ver2 == "2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replan never swapped: still version %q", ver2)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if etag2 == etag1 || bytes.Equal(plan2, plan1) {
+		t.Fatalf("replan swapped but content did not change (tag %q → %q)", etag1, etag2)
+	}
+	// The replanned plan verifies against the drifted device count.
+	p, err := hap.ReadProgram(bytes.NewReader(plan2), testGraph(t))
+	if err != nil {
+		t.Fatalf("replanned plan does not decode: %v", err)
+	}
+	if err := hap.Verify(p, c.M(), 7); err != nil {
+		t.Errorf("replanned plan fails verification: %v", err)
+	}
+
+	// A client holding the pre-drift tag now gets the new body...
+	status, etag, _, respBody = postConditional(t, srv.URL, body, etag1)
+	if status != http.StatusOK || !bytes.Equal(respBody, plan2) {
+		t.Fatalf("stale conditional fetch: status %d, got new body=%v, want 200 with the replanned plan", status, bytes.Equal(respBody, plan2))
+	}
+	if etag != etag2 {
+		t.Errorf("stale conditional fetch: ETag %q, want %q", etag, etag2)
+	}
+	// ...and the new tag 304s.
+	if status, _, _, _ := postConditional(t, srv.URL, body, etag2); status != http.StatusNotModified {
+		t.Errorf("fresh conditional fetch: status %d, want 304", status)
+	}
+
+	st := getStats(t, srv.URL)
+	if st.Telemetry.Replans != 1 || st.Telemetry.ReplanErrors != 0 {
+		t.Errorf("telemetry stats replans=%d errors=%d, want 1/0", st.Telemetry.Replans, st.Telemetry.ReplanErrors)
+	}
+
+	// The same drift reported again must not replan again: the entry is
+	// already planned against the current view.
+	status, tr, _ = postTelemetry(t, srv.URL, telemetryBody(t, c, TelemetryRequest{
+		Devices: []telemetry.DeviceSample{{Device: 0, TFLOPS: achievedTFLOPS(c, 0) * 0.5}},
+	}))
+	if status != http.StatusOK || tr.ReplansStarted != 0 {
+		t.Errorf("re-reported drift: status %d replans=%d, want 200/0 (idempotent per view)", status, tr.ReplansStarted)
+	}
+}
+
+// atomic32 is a tiny atomic counter for stubs.
+type atomic32 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic32) inc() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	return a.n
+}
+
+// TestTelemetryReplanFailureKeepsOldPlan: a replan whose synthesis fails
+// leaves the cached plan, its tag, and its version untouched, and counts a
+// replan error.
+func TestTelemetryReplanFailureKeepsOldPlan(t *testing.T) {
+	var calls atomic32
+	s := New(Config{
+		Synthesize: func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			if calls.inc() > 1 {
+				return nil, fmt.Errorf("search exhausted")
+			}
+			return hap.NewPlanner(c, hap.WithOptions(opt)).Plan(ctx, g)
+		},
+	})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := testCluster()
+	body := requestBody(t, testGraph(t), c, RequestOptions{})
+
+	status, etag1, ver1, plan1 := postConditional(t, srv.URL, body, "")
+	if status != http.StatusOK {
+		t.Fatalf("synthesis: status %d", status)
+	}
+	status, tr, raw := postTelemetry(t, srv.URL, telemetryBody(t, c, TelemetryRequest{
+		Devices: []telemetry.DeviceSample{{Device: 0, TFLOPS: achievedTFLOPS(c, 0) * 0.5}},
+	}))
+	if status != http.StatusOK || tr.ReplansStarted != 1 {
+		t.Fatalf("telemetry: status %d replans=%d: %s", status, tr.ReplansStarted, raw)
+	}
+	// Wait for the failed replan to record its error.
+	deadline := time.Now().Add(10 * time.Second)
+	for getStats(t, srv.URL).Telemetry.ReplanErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replan error never recorded")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	status, etag, ver, respBody := postConditional(t, srv.URL, body, "")
+	if status != http.StatusOK || !bytes.Equal(respBody, plan1) || etag != etag1 || ver != ver1 {
+		t.Errorf("after failed replan: status %d etag %q ver %q, want the untouched original (%q/%q)", status, etag, ver, etag1, ver1)
+	}
+	if st := getStats(t, srv.URL); st.Telemetry.Replans != 0 {
+		t.Errorf("failed replan counted as a success: replans=%d", st.Telemetry.Replans)
+	}
+}
+
+// TestTelemetryFilePoller: reports land from a polled file, reload on
+// rewrite, and skip unchanged content.
+func TestTelemetryFilePoller(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := testCluster()
+
+	path := filepath.Join(t.TempDir(), "telemetry.json")
+	write := func(tflops float64) {
+		t.Helper()
+		var cb bytes.Buffer
+		if err := c.Encode(&cb); err != nil {
+			t.Fatal(err)
+		}
+		report, err := json.Marshal(TelemetryRequest{
+			Cluster: cb.Bytes(),
+			Devices: []telemetry.DeviceSample{{Device: 0, TFLOPS: tflops}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, report, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(achievedTFLOPS(c, 0))
+
+	stop := s.StartTelemetryFile(path, 20*time.Millisecond)
+	defer stop()
+
+	waitReports := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for getStats(t, srv.URL).Telemetry.Reports < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("file poller never reached %d reports (at %d)", want, getStats(t, srv.URL).Telemetry.Reports)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitReports(1) // initial load applies without waiting for a tick
+
+	write(achievedTFLOPS(c, 0) * 0.9)
+	waitReports(2) // rewrite detected by the size-or-mtime poll
+
+	// Unchanged file: give the poller a few ticks and assert no re-ingest.
+	time.Sleep(100 * time.Millisecond)
+	if n := getStats(t, srv.URL).Telemetry.Reports; n != 2 {
+		t.Errorf("unchanged file re-ingested: %d reports, want 2", n)
+	}
+}
+
+// TestPlanVersioningThroughStore pins the store-level versioning contract:
+// first insert is version 1 with a content tag, a same-content refresh keeps
+// the tag, a changed-content replacement bumps the version and changes the
+// tag, and entries arriving with explicit metadata (replication) keep it.
+func TestPlanVersioningThroughStore(t *testing.T) {
+	s := newMemDiskStore(8, 1<<20, nil, 0)
+	s.Put("k", CachedPlan{Plan: []byte(`{"a":1}`)})
+	v1, _ := s.Get("k")
+	if v1.Version != 1 || v1.ETag == "" || v1.ETag != ETagFor([]byte(`{"a":1}`)) {
+		t.Fatalf("first insert: version %d etag %q", v1.Version, v1.ETag)
+	}
+	s.Put("k", CachedPlan{Plan: []byte(`{"a":1}`)})
+	v2, _ := s.Get("k")
+	if v2.Version != 2 || v2.ETag != v1.ETag {
+		t.Errorf("same-content refresh: version %d etag %q, want 2 with the same tag %q", v2.Version, v2.ETag, v1.ETag)
+	}
+	s.Put("k", CachedPlan{Plan: []byte(`{"a":2}`)})
+	v3, _ := s.Get("k")
+	if v3.Version != 3 || v3.ETag == v1.ETag {
+		t.Errorf("changed-content replacement: version %d etag %q, want 3 with a new tag", v3.Version, v3.ETag)
+	}
+	s.Put("r", CachedPlan{Plan: []byte(`{"b":1}`), Version: 7, ETag: `"owner-tag"`})
+	vr, _ := s.Get("r")
+	if vr.Version != 7 || vr.ETag != `"owner-tag"` {
+		t.Errorf("replicated entry: version %d etag %q, want the owner's 7/owner-tag", vr.Version, vr.ETag)
+	}
+}
+
+// TestMetricsExposesTelemetrySeries: the replanning counters and the drift
+// gauge exist on a scrape before any telemetry arrives (so dashboards can
+// tell "no drift" from "not wired"), and a monitored cluster gets its
+// labeled drift series.
+func TestMetricsExposesTelemetrySeries(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	text := scrape()
+	for _, want := range []string{
+		"hap_serve_replans_total 0",
+		"hap_serve_replan_errors_total 0",
+		"hap_serve_telemetry_reports_total 0",
+		"hap_serve_cluster_drift_max 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fresh /metrics lacks %q", want)
+		}
+	}
+
+	c := testCluster()
+	status, _, raw := postTelemetry(t, srv.URL, telemetryBody(t, c, TelemetryRequest{
+		Devices: []telemetry.DeviceSample{{Device: 0, TFLOPS: achievedTFLOPS(c, 0) * 0.8}},
+	}))
+	if status != http.StatusOK {
+		t.Fatalf("telemetry: status %d: %s", status, raw)
+	}
+	text = scrape()
+	if !strings.Contains(text, "hap_serve_telemetry_reports_total 1") {
+		t.Errorf("/metrics did not count the report")
+	}
+	if !strings.Contains(text, fmt.Sprintf("hap_serve_cluster_drift{cluster=%q}", c.Fingerprint())) {
+		t.Errorf("/metrics lacks the per-cluster drift gauge for %s", c.Fingerprint())
+	}
+}
