@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"hap"
+	"hap/internal/obs"
 )
 
 // binaryPlanContentType mirrors serve.BinaryPlanContentType (the serve
@@ -50,9 +51,17 @@ type APIError struct {
 	Status  int    // HTTP status
 	Code    string // machine-readable error code
 	Message string // human-readable detail
+	// TraceID is the server-side request trace identifier (the X-HAP-Trace
+	// response header), when the daemon runs with tracing on. Hand it to
+	// GET /v1/debug/traces/<id> on the daemon to see the failed request's
+	// full span breakdown. Empty when the server traced nothing.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("hap server: %s (%s, HTTP %d, trace %s)", e.Message, e.Code, e.Status, e.TraceID)
+	}
 	return fmt.Sprintf("hap server: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
 }
 
@@ -65,6 +74,14 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h
 // WithJSONPlans disables binary content negotiation: plans travel as JSON.
 // Useful for debugging with a packet capture, never required.
 func WithJSONPlans() Option { return func(c *Client) { c.jsonPlans = true } }
+
+// WithTracing stamps every request with a fresh client-generated trace ID
+// (the X-HAP-Trace header). A tracing-enabled daemon adopts the ID for its
+// request trace, so a slow or failed call can be looked up afterwards at
+// GET /v1/debug/traces/<id> — the ID also comes back in APIError.TraceID.
+// Retries of one logical request share one ID: the server's ring then shows
+// every attempt under the identifier the caller logged.
+func WithTracing() Option { return func(c *Client) { c.tracing = true } }
 
 // WithConditionalFetch makes Synthesize remember each response's entity tag
 // and body, and revalidate repeat requests with If-None-Match: the server
@@ -81,6 +98,7 @@ type Client struct {
 	base      string
 	http      *http.Client
 	jsonPlans bool
+	tracing   bool
 	retry     retryPolicy
 	cond      *condCache // nil = conditional fetch disabled
 }
@@ -190,6 +208,10 @@ func (c *Client) post(ctx context.Context, path string, body any, accept string)
 // request conditional; a 304 Not Modified is then a success the caller
 // resolves from its cache, not an error.
 func (c *Client) postData(ctx context.Context, path string, data []byte, accept, ifNoneMatch string) (*http.Response, error) {
+	traceID := ""
+	if c.tracing {
+		traceID = obs.NewTraceID()
+	}
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
 		if err != nil {
@@ -201,6 +223,9 @@ func (c *Client) postData(ctx context.Context, path string, data []byte, accept,
 		}
 		if ifNoneMatch != "" {
 			req.Header.Set("If-None-Match", ifNoneMatch)
+		}
+		if traceID != "" {
+			req.Header.Set(obs.TraceHeader, traceID)
 		}
 		return req, nil
 	})
@@ -221,7 +246,13 @@ func (c *Client) postData(ctx context.Context, path string, data []byte, accept,
 			env.Code = "error"
 			env.Message = strings.TrimSpace(string(raw))
 		}
-		return nil, &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Message}
+		// The trace ID comes from the response when the server traced the
+		// request (set even on errors), falling back to the ID we sent.
+		tid := resp.Header.Get(obs.TraceHeader)
+		if tid == "" {
+			tid = traceID
+		}
+		return nil, &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Message, TraceID: tid}
 	}
 	return resp, nil
 }

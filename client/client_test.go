@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -197,5 +198,75 @@ func TestClientHealthz(t *testing.T) {
 	}
 	if proto != serve.ProtocolVersion {
 		t.Errorf("protocol = %q, want %q", proto, serve.ProtocolVersion)
+	}
+}
+
+// WithTracing stamps every request with a fresh trace ID the server adopts,
+// and a failing call surfaces that ID in APIError.TraceID — the handle for
+// GET /v1/debug/traces/<id> on the daemon.
+func TestClientTracing(t *testing.T) {
+	var mu sync.Mutex
+	var sentIDs []string
+	_, srv := newServer(t, serve.Config{})
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		sentIDs = append(sentIDs, r.Header.Get("X-HAP-Trace"))
+		mu.Unlock()
+		resp, err := http.Post(srv.URL+r.URL.Path, r.Header.Get("Content-Type"), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(proxy.Close)
+
+	cl := New(srv.URL, WithTracing())
+	if _, err := cl.Synthesize(context.Background(), testGraph(t), testCluster(), Options{}); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+
+	// A failing request: the error carries the trace ID the server echoed.
+	g := hap.NewGraph()
+	g.AddPlaceholder("x", 0, 4, 4)
+	_, err := cl.Synthesize(context.Background(), g, testCluster(), Options{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v (%T), want *APIError", err, err)
+	}
+	if len(apiErr.TraceID) != 16 {
+		t.Fatalf("APIError.TraceID = %q, want a 16-hex trace ID", apiErr.TraceID)
+	}
+	if !strings.Contains(apiErr.Error(), apiErr.TraceID) {
+		t.Errorf("Error() = %q, want the trace ID included", apiErr.Error())
+	}
+
+	// The header actually leaves the client, fresh per logical request.
+	cl2 := New(proxy.URL, WithTracing())
+	if _, err := cl2.Synthesize(context.Background(), testGraph(t), testCluster(), Options{}); err != nil {
+		t.Fatalf("Synthesize via recording proxy: %v", err)
+	}
+	if _, err := cl2.Synthesize(context.Background(), testGraph(t), testCluster(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sentIDs) != 2 {
+		t.Fatalf("proxy saw %d requests, want 2", len(sentIDs))
+	}
+	for _, id := range sentIDs {
+		if len(id) != 16 {
+			t.Errorf("request trace header %q, want 16 hex chars", id)
+		}
+	}
+	if sentIDs[0] == sentIDs[1] {
+		t.Error("two logical requests shared one trace ID")
 	}
 }

@@ -11,13 +11,16 @@
 //	          [-replicas 2] [-probe-interval 5s] [-warmup]
 //	          [-drift-threshold 0.1] [-telemetry-window 5m]
 //	          [-telemetry-file PATH] [-telemetry-poll 5s]
+//	          [-log-format text] [-trace-ring 256] [-trace-slow 0]
+//	          [-debug-addr ""]
 //
 // Endpoints (wire protocol v2): POST /v1/synthesize, POST
 // /v1/synthesize/batch, the deprecated legacy POST /synthesize, GET/POST
 // /v1/fleet/entries, GET /healthz, GET /stats, GET /metrics (Prometheus
-// text format). With -cache-dir, cached plans are written through to disk
-// and restored on the next boot (oldest first, preserving LRU order);
-// -cache-ttl expires aged plans so the directory cannot grow unbounded.
+// text format), GET /v1/debug/traces[/<id>[?format=chrome]]. With
+// -cache-dir, cached plans are written through to disk and restored on the
+// next boot (oldest first, preserving LRU order); -cache-ttl expires aged
+// plans so the directory cannot grow unbounded.
 //
 // Fleet mode: -self names this node's advertise URL and -peers/-peers-file
 // the other members. Request fingerprints are consistent-hash routed to an
@@ -35,14 +38,26 @@
 // conditional fetch) until the replacement is ready. -telemetry-file polls
 // the same report format from disk for probe agents that write files
 // instead of speaking HTTP. See README "Live telemetry & replanning".
+//
+// Observability: every request is traced end-to-end (decode, cache lookup,
+// fleet proxy hop, synthesis phases, encode, replication) and the last
+// -trace-ring traces are browsable at /v1/debug/traces — as JSON or, with
+// ?format=chrome, a file chrome://tracing opens directly. -trace-slow logs
+// a structured breakdown of requests slower than the threshold (negative =
+// every request). Logs are structured (log/slog); -log-format json emits
+// one JSON object per line. -debug-addr serves net/http/pprof and
+// /debug/vars on a separate listener, off the request path. See README
+// "Debugging a slow request".
 package main
 
 import (
 	"context"
 	"errors"
+	_ "expvar" // registers /debug/vars on the default mux (debug listener)
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux (debug listener)
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +65,7 @@ import (
 	"time"
 
 	"hap/internal/fleet"
+	"hap/internal/obs"
 	"hap/internal/serve"
 )
 
@@ -87,11 +103,26 @@ func main() {
 		"poll telemetry reports (one JSON report or an array) from this file, like POST /v1/telemetry")
 	telemetryPoll := flag.Duration("telemetry-poll", 5*time.Second,
 		"poll the telemetry file for size/mtime changes at this interval")
+	logFormat := flag.String("log-format", "text",
+		"log line format: text or json (one object per line, machine-parseable)")
+	traceRing := flag.Int("trace-ring", serve.DefaultTraceRing,
+		"completed request traces retained for GET /v1/debug/traces (0 = disable tracing)")
+	traceSlow := flag.Duration("trace-slow", 0,
+		"log a structured span breakdown of requests slower than this (0 = off, negative = every request)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof and /debug/vars on this address, off the main listener (empty = off)")
 	flag.Parse()
+
+	logger := obs.NewLogger(*logFormat, os.Stderr)
+	slog.SetDefault(logger)
 
 	synthBudget := *budget
 	if synthBudget == 0 {
 		synthBudget = -1 // Config treats 0 as "use default"; negative = unlimited
+	}
+	ring := *traceRing
+	if ring == 0 {
+		ring = -1 // Config treats 0 as "use default"; negative = tracing off
 	}
 
 	var fl *fleet.Fleet
@@ -110,13 +141,15 @@ func main() {
 			Replicas:  *replicas,
 		})
 		if err != nil {
-			log.Fatalf("hap-serve: %v", err)
+			logger.Error("fleet configuration failed", "error", err)
+			os.Exit(1)
 		}
 		fl.Start(*peersPoll, *probeInterval)
 		defer fl.Stop()
-		log.Printf("hap-serve: fleet mode: self=%s members=%v replicas=%d", fl.Self(), fl.Members.Peers(), fl.ReplicaCount())
+		logger.Info("fleet mode", "self", fl.Self(), "members", strings.Join(fl.Members.Peers(), ","), "replicas", fl.ReplicaCount())
 	} else if *peers != "" || *peersFile != "" {
-		log.Fatal("hap-serve: -peers/-peers-file require -self (this node's advertise URL)")
+		logger.Error("-peers/-peers-file require -self (this node's advertise URL)")
+		os.Exit(1)
 	}
 
 	s := serve.New(serve.Config{
@@ -129,15 +162,18 @@ func main() {
 		DriftThreshold:  *driftThreshold,
 		TelemetryWindow: *telemetryWindow,
 		Fleet:           fl,
+		TraceRing:       ring,
+		TraceSlow:       *traceSlow,
+		Logger:          logger,
 	})
 	defer s.Close()
 	if *cacheDir != "" {
-		log.Printf("hap-serve: restored %d cached plans from %s", s.Stats().CacheRestored, *cacheDir)
+		logger.Info("cache restored", "plans", s.Stats().CacheRestored, "dir", *cacheDir)
 	}
 	if *telemetryFile != "" {
 		stop := s.StartTelemetryFile(*telemetryFile, *telemetryPoll)
 		defer stop()
-		log.Printf("hap-serve: polling telemetry from %s every %s", *telemetryFile, *telemetryPoll)
+		logger.Info("polling telemetry file", "path", *telemetryFile, "interval", *telemetryPoll)
 	}
 
 	// Warm up from a peer before accepting traffic: every entry streamed in
@@ -149,11 +185,11 @@ func main() {
 		cancel()
 		switch {
 		case err != nil && n == 0:
-			log.Printf("hap-serve: warm-up: no peer reachable (%v); starting cold", err)
+			logger.Warn("warm-up: no peer reachable, starting cold", "error", err)
 		case err != nil:
-			log.Printf("hap-serve: warm-up: %d plans (stream interrupted: %v)", n, err)
+			logger.Warn("warm-up: stream interrupted", "plans", n, "error", err)
 		default:
-			log.Printf("hap-serve: warm-up: %d plans", n)
+			logger.Info("warm-up complete", "plans", n)
 		}
 	}
 
@@ -166,14 +202,29 @@ func main() {
 				changed, err := fl.Members.Reload()
 				switch {
 				case err != nil:
-					log.Printf("hap-serve: SIGHUP reload: %v", err)
+					logger.Warn("SIGHUP reload failed", "error", err)
 				case changed:
-					log.Printf("hap-serve: SIGHUP reload: members now %v", fl.Members.Peers())
+					logger.Info("SIGHUP reload", "members", strings.Join(fl.Members.Peers(), ","))
 				default:
-					log.Print("hap-serve: SIGHUP reload: membership unchanged")
+					logger.Info("SIGHUP reload: membership unchanged")
 				}
 			}
 		}()
+	}
+
+	// The debug listener serves the profiling surface — /debug/pprof/* and
+	// /debug/vars land on the default mux via their packages' init — on its
+	// own address, so profiles can be pulled without exposing pprof to plan
+	// clients and without contending with the request listener.
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener on", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		defer dbg.Close()
 	}
 
 	srv := &http.Server{
@@ -188,17 +239,18 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("hap-serve: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("hap-serve: shutdown: %v", err)
+			logger.Warn("shutdown incomplete", "error", err)
 		}
 	}()
 
-	log.Printf("hap-serve: listening on %s (cache: %d entries, %d bytes)", *addr, *entries, *bytes)
+	logger.Info("listening", "addr", *addr, "cache_entries", *entries, "cache_bytes", *bytes)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listener failed", "error", err)
+		os.Exit(1)
 	}
 	<-done
 }

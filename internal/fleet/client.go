@@ -15,6 +15,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"hap/internal/obs"
 )
 
 // Wire headers of the fleet layer.
@@ -70,9 +72,11 @@ func NewClient(timeout time.Duration) *Client {
 // URL so the peer serves it locally. A non-empty ifNoneMatch travels with the
 // forward so a warm client's conditional fetch stays conditional across the
 // proxy hop — the owner answers 304 and the proxy relays it without ever
-// moving the plan body. The caller relays the response (status, plan headers,
-// body) to its own client and must close the body.
-func (c *Client) Forward(ctx context.Context, peer, path string, body []byte, accept, from, ifNoneMatch string) (*http.Response, error) {
+// moving the plan body. A non-empty trace is sent as the trace-propagation
+// header (obs.TraceHeader) so the peer's spans land in the forwarder's trace.
+// The caller relays the response (status, plan headers, body) to its own
+// client and must close the body.
+func (c *Client) Forward(ctx context.Context, peer, path string, body []byte, accept, from, ifNoneMatch, trace string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, NormalizeURL(peer)+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -84,6 +88,9 @@ func (c *Client) Forward(ctx context.Context, peer, path string, body []byte, ac
 	}
 	if ifNoneMatch != "" {
 		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
 	}
 	return c.http.Do(req)
 }

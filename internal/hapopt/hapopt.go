@@ -23,6 +23,7 @@ import (
 	"hap/internal/cost"
 	"hap/internal/dist"
 	"hap/internal/graph"
+	"hap/internal/obs"
 	"hap/internal/passes"
 	"hap/internal/segment"
 	"hap/internal/synth"
@@ -93,16 +94,23 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 	if opt.MaxIterations == 0 {
 		opt.MaxIterations = 4
 	}
+	// One span lookup per Optimize call; nil (tracing off) makes every span
+	// operation below a no-op.
+	span := obs.SpanFromContext(ctx)
 	th := opt.Theory
 	if th == nil {
 		// A shared theory implies the caller already prepared the graph's
 		// segment assignment; otherwise it is (re)derived here.
+		ts := span.Child("theory")
 		if opt.Segments > 1 {
 			segment.Assign(g, opt.Segments)
 		} else {
 			g.SegmentOf = nil
 		}
 		th = theory.New(g)
+		ts.SetAttrInt("nodes", int64(g.NumNodes()))
+		ts.SetAttrInt("outputs", int64(len(th.Outputs)))
+		ts.End()
 	}
 
 	init := opt.InitialRatios
@@ -140,6 +148,12 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 	var best *Result
 	seen := map[string]bool{}
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		// The iteration span parents this round's searches, passes, and
+		// balance solve; error exits drop it unrecorded, which is fine — the
+		// error reaches the request's root span anyway.
+		it := span.Child("iteration")
+		it.SetAttrInt("iter", int64(iter))
+		ictx := obs.ContextWithSpan(ctx, it)
 		// An explicit cancellation aborts outright — unlike an expired
 		// budget, nobody is waiting for a best-effort plan.
 		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -167,7 +181,7 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 		// theory wins cost ties — so the outcome is order-deterministic.
 		outs := make([]portfolioResult, len(portfolio))
 		if len(portfolio) == 1 {
-			outs[0].p, outs[0].stats, outs[0].err = synth.Synthesize(ctx, g, portfolio[0], c, b, opt.Synth)
+			outs[0].p, outs[0].stats, outs[0].err = synth.Synthesize(ictx, g, portfolio[0], c, b, opt.Synth)
 		} else {
 			// Split the worker budget across the concurrent searches instead
 			// of oversubscribing: two beams at GOMAXPROCS workers each would
@@ -180,7 +194,7 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					outs[i].p, outs[i].stats, outs[i].err = synth.Synthesize(ctx, g, portfolio[i], c, b, so)
+					outs[i].p, outs[i].stats, outs[i].err = synth.Synthesize(ictx, g, portfolio[i], c, b, so)
 				}(i)
 			}
 			wg.Wait()
@@ -212,15 +226,18 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 			}
 		}
 		if p == nil {
+			it.End()
 			break // budget expired mid-iteration; serve what we have
 		}
-		pruned, pstats, err := optimizeProgram(c, p, opt)
+		pruned, pstats, err := optimizeProgram(ictx, c, p, opt)
 		if err != nil {
 			return nil, fmt.Errorf("hapopt: iteration %d: %w", iter, err)
 		}
 		model := cost.Extract(c, p)
 		if !opt.SkipBalance {
+			bs := it.Child("balance")
 			nb, err := balance.RatiosFromModel(model)
+			bs.End()
 			if err != nil {
 				return nil, fmt.Errorf("hapopt: iteration %d: %w", iter, err)
 			}
@@ -230,6 +247,8 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 		if best == nil || t < best.Cost {
 			best = &Result{Program: p, Ratios: cloneRatios(b), Cost: t, Iters: iter, Synth: stats, Pruned: pruned, Passes: pstats}
 		}
+		it.SetAttrFloat("cost", t)
+		it.End()
 		// Convergence / oscillation detection on the (program, ratios) pair.
 		key := p.String() + ratiosKey(b)
 		if seen[key] {
@@ -249,7 +268,7 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 // pipeline's DCE pass covers that; a standalone Prune runs only when the
 // pipeline is disabled or carries no DCE, and its count is folded into the
 // returned pruned total either way.
-func optimizeProgram(c *cluster.Cluster, p *dist.Program, opt Options) (pruned int, pstats passes.Stats, err error) {
+func optimizeProgram(ctx context.Context, c *cluster.Cluster, p *dist.Program, opt Options) (pruned int, pstats passes.Stats, err error) {
 	var pl *passes.Pipeline
 	if !opt.DisablePasses {
 		if pl = opt.Pipeline; pl == nil {
@@ -261,7 +280,7 @@ func optimizeProgram(c *cluster.Cluster, p *dist.Program, opt Options) (pruned i
 		pruned = p.Prune()
 	}
 	if pl != nil {
-		pstats, err = pl.Run(p, c)
+		pstats, err = pl.RunContext(ctx, p, c)
 		pruned += pstats.ChangedBy(dce)
 	}
 	return pruned, pstats, err

@@ -1,0 +1,22 @@
+// Structured-logging construction shared by cmd/hap-serve and tests: one
+// place that maps the -log-format flag onto a log/slog handler.
+
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger writing to w. format is "json" for
+// machine-shippable lines or anything else (conventionally "text") for
+// the human-readable default.
+func NewLogger(format string, w io.Writer) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}

@@ -19,10 +19,12 @@
 package passes
 
 import (
+	"context"
 	"fmt"
 
 	"hap/internal/cluster"
 	"hap/internal/dist"
+	"hap/internal/obs"
 )
 
 // Pass is one program rewrite. Run mutates p in place and returns the number
@@ -92,6 +94,14 @@ func Default() *Pipeline {
 // hold a partially rewritten (but, with Validate set, still well-formed)
 // program.
 func (pl *Pipeline) Run(p *dist.Program, c *cluster.Cluster) (Stats, error) {
+	return pl.RunContext(context.Background(), p, c)
+}
+
+// RunContext is Run under a context: when ctx carries a tracing span
+// (internal/obs), the pipeline records a "passes" span with one child per
+// pass execution carrying its rewrite count. With tracing off the only
+// overhead is one context lookup per pipeline run.
+func (pl *Pipeline) RunContext(ctx context.Context, p *dist.Program, c *cluster.Cluster) (Stats, error) {
 	maxRounds := pl.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 4
@@ -100,11 +110,24 @@ func (pl *Pipeline) Run(p *dist.Program, c *cluster.Cluster) (Stats, error) {
 	for i, pass := range pl.Passes {
 		stats.PerPass[i].Pass = pass.Name()
 	}
+	ps := obs.SpanFromContext(ctx).Child("passes")
+	defer func() {
+		ps.SetAttrInt("rounds", int64(stats.Rounds))
+		ps.SetAttrInt("changed", int64(stats.Changed))
+		ps.SetAttrBool("converged", stats.Converged)
+		ps.End()
+	}()
 	for round := 1; round <= maxRounds; round++ {
 		stats.Rounds = round
 		roundChanged := 0
 		for i, pass := range pl.Passes {
+			sp := ps.Child(pass.Name())
 			n, err := pass.Run(p, c)
+			if sp != nil {
+				sp.SetAttrInt("round", int64(round))
+				sp.SetAttrInt("changed", int64(n))
+				sp.End()
+			}
 			stats.PerPass[i].Runs++
 			stats.PerPass[i].Changed += n
 			stats.Changed += n

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"hap/internal/fleet"
+	"hap/internal/obs"
 )
 
 // replicateTimeout bounds one replication push. Pushes move already-encoded
@@ -119,7 +120,12 @@ func (s *Server) fleetHealth() *fleetHealthPayload {
 // the client hit: the legacy endpoint shares the cache key space, and
 // relaying a v1 envelope to a legacy client only changes the error body of
 // an already-failing request.
-func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Request, key, owner string, v1, binary bool) bool {
+//
+// Each attempt records a "proxy" span carrying the peer URL; the forward
+// ships the trace ID and the span's ID in the trace header, so the peer's
+// spans — returned in its response trace header — merge under this hop and
+// the cross-node request reads as one tree.
+func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Request, key, owner string, v1, binary bool, rt *requestTrace) bool {
 	f := s.cfg.Fleet
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -145,20 +151,27 @@ func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Re
 		}
 	}
 	for _, peer := range append(healthy, down...) {
-		resp, err := f.Client.Forward(r.Context(), peer, "/v1/synthesize", body, accept, f.Self(), r.Header.Get("If-None-Match"))
+		ps := rt.span("proxy")
+		ps.SetAttrStr("peer", peer)
+		resp, err := f.Client.Forward(r.Context(), peer, "/v1/synthesize", body, accept, f.Self(), r.Header.Get("If-None-Match"), rt.forwardHeader(ps))
 		if err != nil {
 			if errors.Is(err, context.Canceled) || r.Context().Err() != nil {
+				ps.End()
 				// The client went away mid-proxy: no verdict on the peer's
 				// health, and the 499 is for the log — nobody reads it.
 				s.fail(w, v1, 499, CodeCanceled, "canceled: %v", r.Context().Err())
 				return true
 			}
+			ps.SetAttrStr("error", err.Error())
+			ps.End()
 			f.Health.MarkDown(peer)
 			s.fleetProxyErrors.Add(1)
 			continue
 		}
 		f.Health.MarkUp(peer)
 		s.fleetProxied.Add(1)
+		rt.merge(resp.Header.Get(obs.SpansHeader))
+		rt.setCache("proxy")
 		for _, h := range []string{"Content-Type", "X-HAP-Cache", "X-HAP-Passes", "ETag", PlanVersionHeader} {
 			if v := resp.Header.Get(h); v != "" {
 				w.Header().Set(h, v)
@@ -168,6 +181,7 @@ func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Re
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body)
 		resp.Body.Close()
+		ps.End()
 		return true
 	}
 	return false
@@ -178,8 +192,9 @@ func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Re
 // forwarded request, or a fallback with the owner down) holds the entry
 // locally, and the key's next miss through the owner re-establishes the
 // replica set. Pushes are synchronous — milliseconds against a synthesis
-// that took seconds, and the e2e invariants stay deterministic.
-func (s *Server) maybeReplicate(key string, v CachedPlan) {
+// that took seconds, and the e2e invariants stay deterministic. sp, when
+// non-nil, parents a "replicate" span with one child per push.
+func (s *Server) maybeReplicate(sp *obs.Span, key string, v CachedPlan) {
 	f := s.cfg.Fleet
 	if f == nil {
 		return
@@ -188,17 +203,25 @@ func (s *Server) maybeReplicate(key string, v CachedPlan) {
 	if len(set) < 2 || set[0] != f.Self() {
 		return
 	}
+	rs := sp.Child("replicate")
+	rs.SetAttrInt("peers", int64(len(set)-1))
 	e := fleet.Entry{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes, Version: v.Version, ETag: v.ETag}
 	for _, peer := range set[1:] {
 		ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
+		push := rs.Child("replicate_push")
+		push.SetAttrStr("peer", peer)
 		err := f.Client.Replicate(ctx, peer, e)
 		cancel()
 		if err != nil {
+			push.SetAttrStr("error", err.Error())
+			push.End()
 			s.fleetReplicateErrors.Add(1)
 			continue
 		}
+		push.End()
 		s.fleetReplicatedOut.Add(1)
 	}
+	rs.End()
 }
 
 // handleFleetEntries serves the fleet entry exchange:

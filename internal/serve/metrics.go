@@ -49,17 +49,34 @@ func (s *Server) observeLatency(endpoint string, start time.Time) {
 	}
 }
 
+// histogramSnapshot is one histogram read at a single point in time, so a
+// scrape renders buckets, sum, and count from the same capture instead of
+// re-reading live atomics per line.
+type histogramSnapshot struct {
+	counts []uint64
+	sumNs  int64
+}
+
+func (h *histogram) snapshot() histogramSnapshot {
+	snap := histogramSnapshot{counts: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		snap.counts[i] = h.counts[i].Load()
+	}
+	snap.sumNs = h.sumNs.Load()
+	return snap
+}
+
 // writeHistogram emits one endpoint's histogram series: cumulative
-// _bucket{le=...} lines, then _sum and _count.
-func writeHistogram(b *bytes.Buffer, name, endpoint string, h *histogram) {
+// _bucket{le=...} lines, then _sum and _count, all from one snapshot.
+func writeHistogram(b *bytes.Buffer, name, endpoint string, h histogramSnapshot) {
 	cum := uint64(0)
 	for i, bound := range latencyBuckets {
-		cum += h.counts[i].Load()
+		cum += h.counts[i]
 		fmt.Fprintf(b, "%s_bucket{endpoint=%q,le=%q} %d\n", name, endpoint, formatBound(bound), cum)
 	}
-	cum += h.counts[len(latencyBuckets)].Load()
+	cum += h.counts[len(latencyBuckets)]
 	fmt.Fprintf(b, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, endpoint, cum)
-	fmt.Fprintf(b, "%s_sum{endpoint=%q} %g\n", name, endpoint, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(b, "%s_sum{endpoint=%q} %g\n", name, endpoint, float64(h.sumNs)/1e9)
 	fmt.Fprintf(b, "%s_count{endpoint=%q} %d\n", name, endpoint, cum)
 }
 
@@ -70,7 +87,27 @@ func formatBound(v float64) string {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Snapshot everything up front — counters, histograms, phase summaries —
+	// so one scrape renders a single capture moment. Without this, a
+	// background replan (or any concurrent request) landing between the
+	// Stats() call and a later live histogram read could make the exposition
+	// disagree with itself (e.g. syntheses_total without the matching
+	// phase-summary growth).
 	st := s.Stats()
+	hists := make(map[string]histogramSnapshot, len(s.latency))
+	for ep, h := range s.latency {
+		hists[ep] = h.snapshot()
+	}
+	var phases [len(phaseNames)]struct {
+		count uint64
+		sumNs int64
+	}
+	for i := range s.phase {
+		phases[i].count = s.phase[i].count.Load()
+		phases[i].sumNs = s.phase[i].sumNs.Load()
+	}
+	slow := s.slowRequests.Load()
+	tracesHeld := s.traces.Len()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b bytes.Buffer
 	counter := func(name, help string, v uint64) {
@@ -89,8 +126,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Request latency histograms, one series per endpoint.
 	fmt.Fprintf(&b, "# HELP hap_serve_request_seconds Request wall time by wire endpoint, including rejected requests.\n# TYPE hap_serve_request_seconds histogram\n")
 	for _, ep := range []string{EndpointLegacy, EndpointV1, EndpointV1Batch} {
-		writeHistogram(&b, "hap_serve_request_seconds", ep, s.latency[ep])
+		writeHistogram(&b, "hap_serve_request_seconds", ep, hists[ep])
 	}
+	// Synthesis-phase summaries, fed by completed trace spans recorded on
+	// this node (fleet-merged remote spans are excluded — each node counts
+	// only its own work).
+	fmt.Fprintf(&b, "# HELP hap_serve_synth_phase_seconds Wall time in synthesis phases on this node, from completed trace spans.\n# TYPE hap_serve_synth_phase_seconds summary\n")
+	for i, name := range phaseNames {
+		fmt.Fprintf(&b, "hap_serve_synth_phase_seconds_sum{phase=%q} %g\n", name, float64(phases[i].sumNs)/1e9)
+		fmt.Fprintf(&b, "hap_serve_synth_phase_seconds_count{phase=%q} %d\n", name, phases[i].count)
+	}
+	counter("hap_serve_slow_requests_total", "Requests at or past the -trace-slow threshold.", slow)
+	gauge("hap_serve_debug_traces", "Completed traces held in the debug ring.", float64(tracesHeld))
 	counter("hap_serve_cache_hits_total", "Requests served straight from the plan cache.", st.CacheHits)
 	counter("hap_serve_cache_misses_total", "Requests that required (or joined) a synthesis.", st.CacheMisses)
 	counter("hap_serve_syntheses_total", "Plans actually synthesized.", st.Syntheses)

@@ -48,7 +48,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -60,6 +60,7 @@ import (
 	"hap/internal/cluster"
 	"hap/internal/fleet"
 	"hap/internal/graph"
+	"hap/internal/obs"
 	"hap/internal/telemetry"
 )
 
@@ -136,6 +137,16 @@ type Config struct {
 	// Fleet, when non-nil, makes this daemon one node of a sharded,
 	// replicated plan-cache fleet (see fleet.go and internal/fleet).
 	Fleet *fleet.Fleet
+	// TraceRing caps the bounded ring of completed request traces served by
+	// GET /v1/debug/traces (0 = DefaultTraceRing; negative = tracing off,
+	// the request path pays nothing).
+	TraceRing int
+	// TraceSlow logs any traced request slower than this with its full span
+	// breakdown as a structured slog line (0 = off; negative = log every
+	// request, the firehose mode tests and debugging sessions use).
+	TraceSlow time.Duration
+	// Logger receives the daemon's structured log lines (nil = slog.Default).
+	Logger *slog.Logger
 	// Synthesize overrides the planner, for tests. Nil means a hap.Planner
 	// driven by the request context.
 	Synthesize func(context.Context, *graph.Graph, *cluster.Cluster, hap.Options) (*hap.Plan, error)
@@ -196,6 +207,7 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeSynthesisFailed  = "synthesis_failed"
 	CodeCanceled         = "canceled"
+	CodeNotFound         = "not_found"
 )
 
 // RequestOptions mirrors hap.Options on the wire.
@@ -283,6 +295,20 @@ type Server struct {
 	passRewrites   uint64
 	passRewritesBy map[string]uint64
 
+	// traces is the debug ring of completed request traces; nil = tracing
+	// off. logger receives structured log lines; nodeLabel stamps every
+	// span with this node's fleet URL ("" standalone); phase accumulates
+	// the per-phase duration summaries /metrics exposes; slowRequests
+	// counts requests past the TraceSlow threshold.
+	traces    *obs.Collector
+	logger    *slog.Logger
+	nodeLabel string
+	phase     [4]struct {
+		count atomic.Uint64
+		sumNs atomic.Int64
+	}
+	slowRequests atomic.Uint64
+
 	// telemetry is the probe-ingestion and background-replanning compartment
 	// (telemetry.go).
 	telemetry telemetryState
@@ -319,6 +345,10 @@ func New(cfg Config) *Server {
 			return hap.NewPlanner(cs[0], hap.WithOptions(opt)).PlanBatch(ctx, g, cs...)
 		}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	var persist *diskStore
 	if cfg.CacheDir != "" {
 		store, err := newDiskStore(cfg.CacheDir)
@@ -326,7 +356,7 @@ func New(cfg Config) *Server {
 			// Loudly degrade: the daemon keeps serving from memory, but the
 			// operator can see persistence is off instead of discovering it
 			// at the next restart.
-			log.Printf("serve: persistence disabled: %v", err)
+			logger.Warn("persistence disabled", "dir", cfg.CacheDir, "error", err)
 		} else {
 			persist = store
 		}
@@ -337,6 +367,7 @@ func New(cfg Config) *Server {
 		store:          mds,
 		mds:            mds,
 		start:          time.Now(),
+		logger:         logger,
 		passRewritesBy: map[string]uint64{},
 		latency: map[string]*histogram{
 			EndpointLegacy:  newHistogram(),
@@ -348,6 +379,16 @@ func New(cfg Config) *Server {
 			sources:  map[string]planSource{},
 			replan:   map[string]bool{},
 		},
+	}
+	// Tracing is on by default (an empty ring is just a few pointers; the
+	// per-request cost is a handful of small allocations and the synthesis
+	// hot path stays untouched — spans attach per phase, not per candidate).
+	// A negative TraceRing turns it off entirely.
+	if cfg.TraceRing >= 0 {
+		s.traces = obs.NewCollector(cfg.TraceRing)
+	}
+	if f := cfg.Fleet; f != nil {
+		s.nodeLabel = f.Self()
 	}
 	if cfg.CacheTTL > 0 {
 		s.stopSweep = make(chan struct{})
@@ -398,6 +439,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Both forms registered explicitly: the bare path lists, the trailing-
+	// slash form fetches one trace by ID (parsed manually — this module's
+	// go directive predates ServeMux path wildcards).
+	mux.HandleFunc("/v1/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/v1/debug/traces/", s.handleDebugTrace)
 	return mux
 }
 
@@ -549,14 +595,18 @@ func (s *Server) handleLegacySynthesize(w http.ResponseWriter, r *http.Request) 
 	defer s.observeLatency(EndpointLegacy, time.Now())
 	s.requests.Add(1)
 	s.epLegacy.Add(1)
-	s.synthesizeOne(w, r, false)
+	rt, r, w := s.startRequestTrace(w, r, EndpointLegacy)
+	defer rt.finish()
+	s.synthesizeOne(w, r, false, rt)
 }
 
 func (s *Server) handleV1Synthesize(w http.ResponseWriter, r *http.Request) {
 	defer s.observeLatency(EndpointV1, time.Now())
 	s.requests.Add(1)
 	s.epV1.Add(1)
-	s.synthesizeOne(w, r, true)
+	rt, r, w := s.startRequestTrace(w, r, EndpointV1)
+	defer rt.finish()
+	s.synthesizeOne(w, r, true, rt)
 }
 
 // synthesizeOne serves the single-cluster synthesize endpoints. v1 selects
@@ -567,21 +617,27 @@ func (s *Server) handleV1Synthesize(w http.ResponseWriter, r *http.Request) {
 // ring owner (read-replica fallback when the owner is down), and only
 // synthesize here when this node owns the key, the request was already
 // forwarded by a peer, or every responsible peer is unreachable.
-func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) {
+func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool, rt *requestTrace) {
+	ds := rt.span("decode")
 	var req Request
 	if !s.decodePlanRequest(w, r, v1, &req) {
+		ds.End()
 		return
 	}
 	if len(req.Graph) == 0 || len(req.Cluster) == 0 {
+		ds.End()
 		s.fail(w, v1, http.StatusBadRequest, CodeBadRequest, "bad request: graph and cluster are required")
 		return
 	}
 	g, err := graph.Decode(bytes.NewReader(req.Graph))
 	if err != nil {
+		ds.End()
 		s.fail(w, v1, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
 		return
 	}
 	c, err := cluster.Decode(bytes.NewReader(req.Cluster))
+	ds.SetAttrInt("graph_nodes", int64(g.NumNodes()))
+	ds.End()
 	if err != nil {
 		s.fail(w, v1, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
 		return
@@ -589,22 +645,28 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 
 	binary := v1 && wantsBinaryPlan(r)
 	key := cacheKey(g, c, req.Options)
+	rt.setRole(s.fleetRole(key))
 	forwarded := r.Header.Get(fleet.ForwardHeader) != ""
 	if forwarded {
 		s.fleetForwardedServed.Add(1)
 	}
-	if plan, ok := s.store.Get(key); ok {
+	cs := rt.span("cache_lookup")
+	plan, ok := s.store.Get(key)
+	cs.End()
+	if ok {
 		s.hits.Add(1)
+		rt.setCache("hit")
 		writePlan(w, r, plan, "hit", binary)
 		return
 	}
 	s.misses.Add(1)
+	rt.setCache("miss")
 	// A miss owned by a peer proxies there instead of synthesizing here —
 	// unless the request was already forwarded (a peer decided we should
 	// handle it; re-forwarding could loop across divergent ring views).
 	if f := s.cfg.Fleet; f != nil && !forwarded {
 		if owner := f.Owner(key); owner != "" && owner != f.Self() {
-			if s.proxyPlanRequest(w, r, req, key, owner, v1, binary) {
+			if s.proxyPlanRequest(w, r, req, key, owner, v1, binary, rt) {
 				return
 			}
 			// Every responsible peer is unreachable: synthesize locally so
@@ -612,6 +674,10 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 			s.fleetLocalFallbacks.Add(1)
 		}
 	}
+	// The flight span covers the whole single-flight interaction: for the
+	// executing caller it parents the synthesize/encode/replicate subtree,
+	// for joined callers it measures the wait on someone else's synthesis.
+	fs := rt.span("flight")
 	plan, err, shared := s.flight.do(r.Context(), key, func(fctx context.Context) (CachedPlan, error) {
 		// Re-check under the flight: a request that missed while a previous
 		// flight for this key was completing would otherwise re-synthesize a
@@ -623,13 +689,20 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 		// fctx is the flight context: alive while any client still wants
 		// this plan, cancelled when the last one disconnects — so a dropped
 		// connection aborts the search without killing the synthesis other
-		// waiters are sharing.
-		p, err := s.cfg.Synthesize(fctx, g, c, s.hapOptions(req.Options))
+		// waiters are sharing. The synthesize span rides on fctx, so the
+		// planner's phase spans (theory, beam levels, passes, verify) attach
+		// to the executing caller's trace — a joined waiter's flight span
+		// shows the wait, not someone else's search.
+		ss := fs.Child("synthesize")
+		p, err := s.cfg.Synthesize(obs.ContextWithSpan(fctx, ss), g, c, s.hapOptions(req.Options))
+		ss.End()
 		if err != nil {
 			return CachedPlan{}, err
 		}
 		s.recordPassStats(p.Passes)
+		es := fs.Child("encode")
 		v, err := encodePlan(p)
+		es.End()
 		if err != nil {
 			return CachedPlan{}, err
 		}
@@ -638,8 +711,10 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 		// Registering the source makes the entry eligible for drift-triggered
 		// background replanning (telemetry.go).
 		s.recordPlanSource(key, g, c, req.Options, c.Fingerprint())
-		return s.storePlan(key, v), nil
+		return s.storePlan(fs, key, v), nil
 	})
+	fs.SetAttrBool("shared", shared)
+	fs.End()
 	if shared {
 		s.flightShared.Add(1)
 	}
@@ -649,6 +724,23 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool) 
 		return
 	}
 	writePlan(w, r, plan, "miss", binary)
+}
+
+// fleetRole classifies this node's relationship to a cache key for the
+// trace and slow-log labels.
+func (s *Server) fleetRole(key string) string {
+	f := s.cfg.Fleet
+	if f == nil {
+		return roleLocal
+	}
+	switch {
+	case f.Owner(key) == f.Self():
+		return roleOwner
+	case contains(f.ReplicaSet(key), f.Self()):
+		return roleReplica
+	default:
+		return roleProxy
+	}
 }
 
 // handleV1Batch serves POST /v1/synthesize/batch: one graph against many
@@ -666,16 +758,22 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 	defer s.observeLatency(EndpointV1Batch, time.Now())
 	s.requests.Add(1)
 	s.epV1Batch.Add(1)
+	rt, r, w := s.startRequestTrace(w, r, EndpointV1Batch)
+	defer rt.finish()
+	ds := rt.span("decode")
 	var req BatchRequest
 	if !s.decodePlanRequest(w, r, true, &req) {
+		ds.End()
 		return
 	}
 	if len(req.Graph) == 0 || len(req.Clusters) == 0 {
+		ds.End()
 		s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad request: graph and a non-empty clusters list are required")
 		return
 	}
 	g, err := graph.Decode(bytes.NewReader(req.Graph))
 	if err != nil {
+		ds.End()
 		s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
 		return
 	}
@@ -684,18 +782,23 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 	for i, raw := range req.Clusters {
 		c, err := cluster.Decode(bytes.NewReader(raw))
 		if err != nil {
+			ds.End()
 			s.fail(w, true, http.StatusBadRequest, CodeBadRequest, "bad request: cluster %d: %v", i, err)
 			return
 		}
 		clusters[i] = c
 		keys[i] = cacheKey(g, c, req.Options)
 	}
+	ds.SetAttrInt("graph_nodes", int64(g.NumNodes()))
+	ds.SetAttrInt("clusters", int64(len(clusters)))
+	ds.End()
 
 	results := make([]BatchPlanResult, len(clusters))
 	// Collect the clusters that need a synthesis, coalescing duplicates
 	// (the same cluster listed twice is one search, answered twice).
 	missing := map[string]int{} // key → index of first cluster needing it
 	var missingOrder []string
+	cs := rt.span("cache_lookup")
 	for i, key := range keys {
 		if v, ok := s.store.Get(key); ok {
 			s.hits.Add(1)
@@ -709,13 +812,23 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 			missingOrder = append(missingOrder, key)
 		}
 	}
+	cs.SetAttrInt("missing", int64(len(missing)))
+	cs.End()
+	if len(missing) == 0 {
+		rt.setCache("hit")
+	} else {
+		rt.setCache("miss")
+	}
 	if len(missing) > 0 {
 		toPlan := make([]*cluster.Cluster, len(missingOrder))
 		for j, key := range missingOrder {
 			toPlan[j] = clusters[missing[key]]
 		}
 		s.syntheses.Add(uint64(len(toPlan)))
-		plans, batchErr := s.cfg.PlanBatch(r.Context(), g, toPlan, s.hapOptions(req.Options))
+		ss := rt.span("synthesize")
+		ss.SetAttrInt("clusters", int64(len(toPlan)))
+		plans, batchErr := s.cfg.PlanBatch(obs.ContextWithSpan(r.Context(), ss), g, toPlan, s.hapOptions(req.Options))
+		ss.End()
 		if batchErr == nil && len(plans) != len(toPlan) {
 			plans, batchErr = nil, fmt.Errorf("planner returned %d plans for %d clusters", len(plans), len(toPlan))
 		}
@@ -723,6 +836,7 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 		// (PlanBatch returns partial results): a starved cluster under the
 		// shared budget must not force retries to re-pay its siblings' work.
 		fresh := map[string]CachedPlan{}
+		es := rt.span("encode")
 		for j, key := range missingOrder {
 			if j >= len(plans) || plans[j] == nil {
 				continue
@@ -730,13 +844,15 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 			s.recordPassStats(plans[j].Passes)
 			v, err := encodePlan(plans[j])
 			if err != nil {
+				es.End()
 				s.fail(w, true, http.StatusInternalServerError, CodeSynthesisFailed, "encoding plan: %v", err)
 				return
 			}
 			c := clusters[missing[key]]
 			s.recordPlanSource(key, g, c, req.Options, c.Fingerprint())
-			fresh[key] = s.storePlan(key, v)
+			fresh[key] = s.storePlan(es, key, v)
 		}
+		es.End()
 		if batchErr != nil {
 			status, code := synthErrorCode(batchErr)
 			s.fail(w, true, status, code, "synthesis failed: %v", batchErr)
@@ -776,14 +892,17 @@ func encodePlan(p *hap.Plan) (CachedPlan, error) {
 // and the replication pushes carry the same metadata the next cache hit
 // will. A plan the store rejects (over its caps) is tagged locally: the
 // response still gets an ETag, just no stored version sequence.
-func (s *Server) storePlan(key string, v CachedPlan) CachedPlan {
+//
+// sp, when non-nil, parents the replication fan-out span so the pushes show
+// up in the request (or replan) trace that produced the plan.
+func (s *Server) storePlan(sp *obs.Span, key string, v CachedPlan) CachedPlan {
 	s.store.Put(key, v)
 	if stored, ok := s.store.Get(key); ok {
 		v = stored
 	} else {
 		normalizePlan(&v, 1)
 	}
-	s.maybeReplicate(key, v)
+	s.maybeReplicate(sp, key, v)
 	return v
 }
 

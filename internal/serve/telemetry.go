@@ -28,7 +28,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"log"
 	"math"
 	"net/http"
 	"os"
@@ -38,6 +37,7 @@ import (
 	"hap"
 	"hap/internal/cluster"
 	"hap/internal/graph"
+	"hap/internal/obs"
 	"hap/internal/telemetry"
 )
 
@@ -256,6 +256,12 @@ func (s *Server) replanForSpec(specFP string, mon *telemetry.Monitor) int {
 // swaps it in only after the result verifies. The old plan serves throughout:
 // a failed synthesis, a failed verification, or an unchanged result all leave
 // the cache exactly as it was.
+//
+// Each replan records its own trace — there is no client request to attach
+// to — rooted at a "replan" span, with synthesize / verify / encode children
+// and the replication fan-out under the encode. It lands in the same ring as
+// request traces, so /v1/debug/traces answers "what did the background
+// replanner just do" too.
 func (s *Server) replanOne(key string, src planSource, drifted *cluster.Cluster, driftedFP string, old CachedPlan) {
 	t := &s.telemetry
 	defer func() {
@@ -263,6 +269,17 @@ func (s *Server) replanOne(key string, src planSource, drifted *cluster.Cluster,
 		delete(t.replan, key)
 		t.mu.Unlock()
 	}()
+	var tr *obs.Trace
+	var root *obs.Span
+	if s.traces != nil {
+		tr = obs.New("", s.nodeLabel)
+		root = tr.Root("replan", 0)
+		root.SetAttrStr("key", key)
+		defer func() {
+			root.End()
+			s.collectTrace(tr.Finish())
+		}()
+	}
 	ctx := context.Background()
 	if s.cfg.SynthTimeBudget > 0 {
 		var cancel context.CancelFunc
@@ -270,27 +287,36 @@ func (s *Server) replanOne(key string, src planSource, drifted *cluster.Cluster,
 		defer cancel()
 	}
 	s.syntheses.Add(1)
-	p, err := s.cfg.Synthesize(ctx, src.g, drifted, s.hapOptions(src.opts))
+	ss := root.Child("synthesize")
+	p, err := s.cfg.Synthesize(obs.ContextWithSpan(ctx, ss), src.g, drifted, s.hapOptions(src.opts))
+	ss.End()
 	if err != nil {
 		t.addReplanError()
-		log.Printf("serve: replan %s: synthesis: %v", key, err)
+		s.logger.Warn("replan synthesis failed", "key", key, "trace_id", traceIDOf(tr), "error", err)
 		return
 	}
 	// Verify before swap: the drifted cluster is measurement-derived, and a
 	// plan that fails execution-equivalence must never replace one that works.
-	if err := hap.Verify(p, drifted.M(), replanVerifySeed); err != nil {
+	vs := root.Child("verify")
+	vs.SetAttrStr("kind", "numeric")
+	verr := hap.Verify(p, drifted.M(), replanVerifySeed)
+	vs.End()
+	if verr != nil {
 		t.addReplanError()
-		log.Printf("serve: replan %s: verify: %v", key, err)
+		s.logger.Warn("replan verify failed", "key", key, "trace_id", traceIDOf(tr), "error", verr)
 		return
 	}
 	s.recordPassStats(p.Passes)
+	es := root.Child("encode")
 	v, err := encodePlan(p)
 	if err != nil {
+		es.End()
 		t.addReplanError()
-		log.Printf("serve: replan %s: encode: %v", key, err)
+		s.logger.Warn("replan encode failed", "key", key, "trace_id", traceIDOf(tr), "error", err)
 		return
 	}
 	if bytes.Equal(v.Plan, old.Plan) {
+		es.End()
 		// Same bytes: no swap, no version bump, warm clients' tags stay
 		// valid. Mark the source current so this view does not re-replan.
 		t.mu.Lock()
@@ -305,7 +331,8 @@ func (s *Server) replanOne(key string, src planSource, drifted *cluster.Cluster,
 	// The store assigns the bumped version and the new content tag; the fleet
 	// path re-replicates the replacement to the ring successors exactly like
 	// a fresh synthesis.
-	s.storePlan(key, v)
+	s.storePlan(es, key, v)
+	es.End()
 	t.mu.Lock()
 	t.replans++
 	if src, ok := t.sources[key]; ok {
@@ -313,6 +340,14 @@ func (s *Server) replanOne(key string, src planSource, drifted *cluster.Cluster,
 		t.sources[key] = src
 	}
 	t.mu.Unlock()
+}
+
+// traceIDOf is the nil-safe trace_id log attr: "" when tracing is off.
+func traceIDOf(tr *obs.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.ID()
 }
 
 // StartTelemetryFile polls path every interval and feeds its contents through
@@ -344,7 +379,7 @@ func (s *Server) StartTelemetryFile(path string, interval time.Duration) func() 
 		lastMtime, lastSize = info.ModTime(), info.Size()
 		for _, req := range decodeTelemetryFile(data) {
 			if _, err := s.ingestTelemetry(req); err != nil {
-				log.Printf("serve: telemetry file %s: %v", path, err)
+				s.logger.Warn("telemetry file rejected", "path", path, "error", err)
 			}
 		}
 	}

@@ -45,6 +45,7 @@ import (
 	"hap/internal/cost"
 	"hap/internal/dist"
 	"hap/internal/graph"
+	"hap/internal/obs"
 	"hap/internal/theory"
 )
 
@@ -354,6 +355,11 @@ type Synthesizer struct {
 	// beam worker observes it between candidate batches (prompt
 	// cancellation, see expiredNow).
 	expired atomic.Bool
+	// span is the tracing span covering this search, resolved once from the
+	// Run context. Nil when tracing is off — every use below is nil-safe, so
+	// the hot path pays a pointer check per beam level and nothing per
+	// candidate (guarded by the benchcheck allocs gate).
+	span *obs.Span
 	// totalFlopsPerSec is the admissible-heuristic denominator.
 	totalFlopsPerSec float64
 	outputs          []theory.Output
@@ -483,6 +489,19 @@ func (sy *Synthesizer) Run(ctx context.Context) (*dist.Program, Stats, error) {
 		ctx = context.Background()
 	}
 	sy.ctx = ctx
+	// One context lookup per search; nil (tracing off) makes every span call
+	// below a no-op.
+	sy.span = obs.SpanFromContext(ctx).Child("search")
+	if sy.span != nil {
+		if sy.opt.BeamWidth > 0 {
+			sy.span.SetAttrStr("mode", "beam")
+			sy.span.SetAttrInt("beam_width", int64(sy.opt.BeamWidth))
+			sy.span.SetAttrInt("workers", int64(sy.workers()))
+		} else {
+			sy.span.SetAttrStr("mode", "astar")
+		}
+		sy.span.SetAttrInt("nodes", int64(sy.g.NumNodes()))
+	}
 	if sy.opt.TimeBudget > 0 {
 		sy.deadline = start.Add(sy.opt.TimeBudget)
 	}
@@ -515,9 +534,20 @@ func (sy *Synthesizer) Run(ctx context.Context) (*dist.Program, Stats, error) {
 	}
 	stats.Elapsed = time.Since(start)
 	if err != nil {
+		if sy.span != nil {
+			sy.span.SetAttrInt("expansions", int64(stats.Expansions))
+			sy.span.SetAttrStr("error", err.Error())
+			sy.span.End()
+		}
 		return nil, stats, err
 	}
 	stats.Cost = best.effCost()
+	if sy.span != nil {
+		sy.span.SetAttrInt("expansions", int64(stats.Expansions))
+		sy.span.SetAttrInt("pushed", int64(stats.Pushed))
+		sy.span.SetAttrFloat("cost", stats.Cost)
+		sy.span.End()
+	}
 	return best.program(sy.g), stats, nil
 }
 
@@ -678,6 +708,9 @@ func (sy *Synthesizer) runBeam(root *state) (*state, Stats, error) {
 	level := []*state{root}
 	maxLevels := 3*sy.g.NumNodes() + 100
 	for depth := 0; depth < maxLevels && len(level) > 0; depth++ {
+		// One span per beam level (nil when tracing is off — the only cost
+		// then is this nil check, not per-candidate work).
+		lv := sy.span.Child("beam_level")
 		n := len(level)
 		workers := W
 		if workers > n {
@@ -829,6 +862,13 @@ func (sy *Synthesizer) runBeam(root *state) (*state, Stats, error) {
 			if !kept[pi] {
 				sy.release(s)
 			}
+		}
+		if lv != nil {
+			lv.SetAttrInt("depth", int64(depth))
+			lv.SetAttrInt("states", int64(n))
+			lv.SetAttrInt("candidates", int64(len(arena)))
+			lv.SetAttrInt("survivors", int64(len(next)))
+			lv.End()
 		}
 		level, next = next, level
 	}

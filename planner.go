@@ -20,6 +20,7 @@ import (
 
 	"hap/internal/cluster"
 	"hap/internal/hapopt"
+	"hap/internal/obs"
 	"hap/internal/segment"
 	"hap/internal/synth"
 	"hap/internal/theory"
@@ -104,8 +105,15 @@ func (p *Planner) plan(ctx context.Context, g *Graph, c *cluster.Cluster, th *th
 	if err != nil {
 		return nil, err
 	}
-	if err := res.Program.Validate(); err != nil {
-		return nil, fmt.Errorf("hap: synthesized program is ill-formed: %w", err)
+	// The serving path's "verify" phase: the structural validator gating
+	// every plan handed out. (Numeric verification — hap.Verify — runs in
+	// the background replanner, which records its own verify span.)
+	vs := obs.SpanFromContext(ctx).Child("verify")
+	vs.SetAttrStr("kind", "structural")
+	verr := res.Program.Validate()
+	vs.End()
+	if verr != nil {
+		return nil, fmt.Errorf("hap: synthesized program is ill-formed: %w", verr)
 	}
 	return &Plan{
 		Program:       res.Program,
@@ -145,12 +153,15 @@ func (p *Planner) PlanBatch(ctx context.Context, g *Graph, clusters ...*Cluster)
 
 	// Prepare the graph once — segment assignment mutates g, so it must not
 	// race across the concurrent per-cluster runs — then share the theory.
+	ts := obs.SpanFromContext(ctx).Child("theory")
 	if p.opt.Segments > 1 {
 		segment.Assign(g, p.opt.Segments)
 	} else {
 		g.SegmentOf = nil
 	}
 	th := theory.New(g)
+	ts.SetAttrInt("nodes", int64(g.NumNodes()))
+	ts.End()
 	per := hapopt.SplitWorkers(p.opt.Workers, len(clusters))
 
 	plans := make([]*Plan, len(clusters))
