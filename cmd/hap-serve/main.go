@@ -97,6 +97,8 @@ func main() {
 		"on boot, stream cached entries from the first reachable peer (fleet mode only)")
 	driftThreshold := flag.Float64("drift-threshold", serve.DefaultDriftThreshold,
 		"cluster drift past which cached plans replan in the background (negative = disable replanning)")
+	noSeed := flag.Bool("no-seed", false,
+		"disable incremental synthesis: misses synthesize cold instead of seeding from the nearest similar cached plan")
 	telemetryWindow := flag.Duration("telemetry-window", 0,
 		"staleness horizon of probe estimates; older estimates revert to the spec (0 = 5m)")
 	telemetryFile := flag.String("telemetry-file", "",
@@ -161,6 +163,7 @@ func main() {
 		CacheTTL:        *cacheTTL,
 		DriftThreshold:  *driftThreshold,
 		TelemetryWindow: *telemetryWindow,
+		DisableSeeding:  *noSeed,
 		Fleet:           fl,
 		TraceRing:       ring,
 		TraceSlow:       *traceSlow,

@@ -9,6 +9,7 @@ import (
 
 	"hap/internal/cluster"
 	"hap/internal/cost"
+	"hap/internal/models"
 	"hap/internal/passes"
 	"hap/internal/synth"
 	"hap/internal/theory"
@@ -177,8 +178,82 @@ func TestDifferentialRandomGraphs(t *testing.T) {
 						err, g, plan.Program)
 				}
 				passesArm(t, plan, c, seed)
+				seededArm(t, g, plan, c, segments, seed)
 			})
 		}
+	}
+}
+
+// seededArm re-plans the graph seeded from its own cold plan. A distance-0
+// donor replays completely, so the seeded plan must stay verification-clean
+// and cost no more than the cold one — on every graph × cluster pair the
+// harness generates. Graphs small enough for exact A* exercise the
+// seed-ignored path instead (the planner must not report them seeded).
+func seededArm(t *testing.T, g *Graph, cold *Plan, c *cluster.Cluster, segments int, seed int64) {
+	t.Helper()
+	plan, err := Parallelize(g, c, Options{Segments: segments, SeedGraph: g, SeedPlan: cold})
+	if err != nil {
+		t.Fatalf("seeded Parallelize: %v", err)
+	}
+	if err := plan.Program.Validate(); err != nil {
+		t.Fatalf("seeded program ill-formed: %v\n%s", err, plan.Program)
+	}
+	if err := Verify(plan, c.M(), seed); err != nil {
+		t.Errorf("seeded program is not equivalent to the graph: %v\n%s", err, plan.Program)
+	}
+	if plan.Cost > cold.Cost*(1+1e-9) {
+		t.Errorf("seeded plan cost %v worse than cold %v", plan.Cost, cold.Cost)
+	}
+	if plan.Seeded {
+		if plan.SeedDistance != 0 {
+			t.Errorf("self-seeded plan reports distance %v, want 0", plan.SeedDistance)
+		}
+		// A full replay re-emits the donor program; only the optimizer loop's
+		// ratio rebalancing could differ, and it is deterministic too.
+		if plan.Program.String() != cold.Program.String() {
+			t.Errorf("self-seeded plan differs from its donor:\n%s\nvs cold:\n%s", plan.Program, cold.Program)
+		}
+	}
+}
+
+// TestDifferentialSeededVGG19 is the incremental-synthesis acceptance check
+// at model topology scale: a one-layer-wider VGG19 planned seeded from the
+// base VGG19's plan must report a real (non-zero) seed distance, stay
+// well-formed, and model a cost no worse than planning the widened model
+// cold. VGG19's conv ops are cost-only (no numeric kernel), so the numeric
+// Verify arm for seeded plans lives in seededArm above and the serve-level
+// incremental test, both on executable graphs. The image edge is scaled down
+// (224 → 32) to keep the cold baseline synthesis quick; the topology — and
+// hence the structural diff — is the same as the full-size model's.
+func TestDifferentialSeededVGG19(t *testing.T) {
+	c := PerGPU(MachineSpec{Type: V100, GPUs: 1}, MachineSpec{Type: P100, GPUs: 1})
+	base := models.Training(models.VGG19(8, 32, 10))
+	wide := models.Training(models.VGG19OneWider(8, 32, 10))
+
+	cold, err := Parallelize(base, c, Options{})
+	if err != nil {
+		t.Fatalf("base VGG19: %v", err)
+	}
+	coldWide, err := Parallelize(wide, c, Options{})
+	if err != nil {
+		t.Fatalf("cold widened VGG19: %v", err)
+	}
+
+	plan, err := Parallelize(wide, c, Options{SeedGraph: base, SeedPlan: cold})
+	if err != nil {
+		t.Fatalf("seeded widened VGG19: %v", err)
+	}
+	if !plan.Seeded {
+		t.Fatal("one-layer-wider VGG19 did not seed from the base plan")
+	}
+	if plan.SeedDistance <= 0 || plan.SeedDistance > 0.25 {
+		t.Errorf("seed distance = %v, want in (0, 0.25]", plan.SeedDistance)
+	}
+	if err := plan.Program.Validate(); err != nil {
+		t.Fatalf("seeded program ill-formed: %v", err)
+	}
+	if plan.Cost > coldWide.Cost*(1+1e-9) {
+		t.Errorf("seeded cost %v worse than cold %v", plan.Cost, coldWide.Cost)
 	}
 }
 

@@ -129,6 +129,19 @@ type Options struct {
 	// this knob trades only latency, never plan content — it is deliberately
 	// not part of hap-serve's cache key.
 	Workers int
+	// SeedGraph and SeedPlan supply a donor plan for incremental synthesis:
+	// when the donor graph is structurally close enough to the planned graph
+	// (normalized segment-level diff ≤ MaxSeedDistance), the search is seeded
+	// from the donor plan — decisions in the unchanged region are pinned and
+	// only the changed region is searched. A donor too far away silently
+	// degrades to cold synthesis; exact A* ignores seeds. Both nil by
+	// default. Seed inputs are deliberately not part of hap-serve's cache
+	// key: like Workers, they trade latency, never plan validity.
+	SeedGraph *Graph
+	SeedPlan  *Plan
+	// MaxSeedDistance overrides the incremental-synthesis cutoff
+	// (0 = the default, 0.25).
+	MaxSeedDistance float64
 }
 
 // Plan is the result of Parallelize: what every worker runs.
@@ -145,6 +158,12 @@ type Plan struct {
 	// Options.DisablePasses is set). In-memory only: not serialized by
 	// WriteProgram.
 	Passes PassStats
+	// Seeded reports whether the plan came out of a seeded (incremental)
+	// search rather than a cold one, and SeedDistance the donor's normalized
+	// structural distance. In-memory only: not serialized by WriteProgram —
+	// a reloaded plan is just a plan, regardless of how it was found.
+	Seeded       bool
+	SeedDistance float64
 }
 
 // Parallelize runs the full HAP pipeline: iterative program synthesis and

@@ -39,3 +39,9 @@ func (h *Hasher) Float(v float64) {
 func (h *Hasher) Sum() string {
 	return fmt.Sprintf("%016x", h.h.Sum64())
 }
+
+// Sum64 returns the accumulated hash as a raw 64-bit value, for callers that
+// combine or compare sub-hashes numerically (graph segment sub-fingerprints).
+func (h *Hasher) Sum64() uint64 {
+	return h.h.Sum64()
+}

@@ -1,0 +1,137 @@
+package graph
+
+import "testing"
+
+// mlp builds a small MLP-shaped forward graph: x · w1 · w2 · … with ReLUs,
+// summed into a loss.
+func mlp(widths ...int) *Graph {
+	g := New()
+	h := g.AddPlaceholder("x", 0, 8, widths[0])
+	for i := 1; i < len(widths); i++ {
+		w := g.AddParameter("w", widths[i-1], widths[i])
+		h = g.AddOp(ReLU, g.AddOp(MatMul, h, w))
+	}
+	g.SetLoss(g.AddOp(Sum, h))
+	return g
+}
+
+func TestDiffIdenticalGraphs(t *testing.T) {
+	a := mlp(16, 32, 32, 8)
+	b := mlp(16, 32, 32, 8)
+	d := StructuralDiff(a, b)
+	if d.Norm != 0 || d.EditA != 0 || d.EditB != 0 {
+		t.Fatalf("identical graphs: Norm=%v EditA=%d EditB=%d, want all zero", d.Norm, d.EditA, d.EditB)
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if m, ok := d.MapAB(NodeID(i)); !ok || m != NodeID(i) {
+			t.Fatalf("identical graphs: MapAB(%d) = %d,%v, want identity", i, m, ok)
+		}
+	}
+	if spans := d.ChangedB(); len(spans) != 0 {
+		t.Fatalf("identical graphs: ChangedB = %v, want empty", spans)
+	}
+}
+
+func TestDiffEmptyGraph(t *testing.T) {
+	empty := New()
+	full := mlp(16, 32, 8)
+	if d := StructuralDiff(empty, empty); d.Norm != 0 {
+		t.Fatalf("empty vs empty: Norm=%v, want 0", d.Norm)
+	}
+	d := StructuralDiff(empty, full)
+	if d.Norm != 1 {
+		t.Fatalf("empty vs full: Norm=%v, want 1", d.Norm)
+	}
+	if len(d.Matches) != 0 || d.EditB != full.NumNodes() {
+		t.Fatalf("empty vs full: Matches=%v EditB=%d, want none/%d", d.Matches, d.EditB, full.NumNodes())
+	}
+	if spans := d.ChangedB(); len(spans) != 1 || spans[0].Start != 0 || int(spans[0].End) != full.NumNodes() {
+		t.Fatalf("empty vs full: ChangedB=%v, want one span covering the graph", spans)
+	}
+	// And the transpose: the edit size is symmetric.
+	if d := StructuralDiff(full, empty); d.Norm != 1 || d.EditA != full.NumNodes() {
+		t.Fatalf("full vs empty: Norm=%v EditA=%d", d.Norm, d.EditA)
+	}
+}
+
+func TestDiffDisjointGraphs(t *testing.T) {
+	a := mlp(16, 32, 32, 8)
+	// Entirely different op kinds: no node signature survives. (Different
+	// *widths* are not enough — a scalar Sum loss hashes identically in any
+	// MLP, and the refinement pass would rightly align it.)
+	b := New()
+	h := b.AddOnes(3, 3)
+	for i := 0; i < a.NumNodes(); i++ {
+		h = b.AddOp(Mul, h, h)
+	}
+	d := StructuralDiff(a, b)
+	if d.Norm != 1 {
+		t.Fatalf("disjoint graphs: Norm=%v, want 1", d.Norm)
+	}
+	if len(d.Matches) != 0 {
+		t.Fatalf("disjoint graphs: Matches=%v, want none", d.Matches)
+	}
+	for i := 0; i < b.NumNodes(); i++ {
+		if _, ok := d.MapBA(NodeID(i)); ok {
+			t.Fatalf("disjoint graphs: MapBA(%d) unexpectedly mapped", i)
+		}
+	}
+}
+
+// TestDiffCrossesSegmentBoundary edits a region spanning a segment boundary
+// and checks that the alignment (which ignores the segment overlay) still
+// recovers the unchanged prefix and suffix, and that the changed span covers
+// nodes from both segments.
+func TestDiffCrossesSegmentBoundary(t *testing.T) {
+	segment := func(g *Graph) {
+		// Two segments split at the graph midpoint.
+		g.SegmentOf = make([]int, g.NumNodes())
+		for i := g.NumNodes() / 2; i < g.NumNodes(); i++ {
+			g.SegmentOf[i] = 1
+		}
+	}
+	a := mlp(16, 32, 32, 32, 32, 8)
+	b := mlp(16, 32, 32, 48, 32, 8) // widen the layer straddling the midpoint
+	segment(a)
+	segment(b)
+	d := StructuralDiff(a, b)
+	if d.Norm <= 0 || d.Norm >= 1 {
+		t.Fatalf("boundary-crossing edit: Norm=%v, want strictly between 0 and 1", d.Norm)
+	}
+	spans := d.ChangedB()
+	if len(spans) == 0 {
+		t.Fatalf("boundary-crossing edit: no changed spans")
+	}
+	seg := map[int]bool{}
+	for _, sp := range spans {
+		for i := sp.Start; i < sp.End; i++ {
+			seg[b.SegmentOf[i]] = true
+		}
+	}
+	if !seg[0] || !seg[1] {
+		t.Fatalf("changed spans %v touch segments %v, want both 0 and 1", spans, seg)
+	}
+	// The prefix before the edit still maps identically.
+	if m, ok := d.MapBA(0); !ok || m != 0 {
+		t.Fatalf("MapBA(0) = %d,%v, want identity", m, ok)
+	}
+}
+
+// TestDiffSharedSubFingerprints checks the similarity primitive: a one-layer
+// edit leaves most chunk hashes shared; a disjoint graph shares none.
+func TestDiffSharedSubFingerprints(t *testing.T) {
+	a := mlp(16, 32, 32, 32, 32, 32, 32, 8)
+	b := mlp(16, 32, 32, 48, 32, 32, 32, 8)
+	fa, fb := SubFingerprints(a), SubFingerprints(b)
+	shared := SharedSubFingerprints(fa, fb)
+	if shared == 0 {
+		t.Fatalf("one-layer edit shares no sub-fingerprints (|a|=%d |b|=%d)", len(fa), len(fb))
+	}
+	if shared == len(fa) && len(fa) == len(fb) {
+		t.Fatalf("one-layer edit shares every sub-fingerprint — chunks not content-sensitive")
+	}
+	c := mlp(17, 33, 35, 9)
+	if got := SharedSubFingerprints(SubFingerprints(c), fa); got != 0 {
+		t.Fatalf("disjoint graphs share %d sub-fingerprints, want 0", got)
+	}
+}

@@ -56,6 +56,22 @@ type Options struct {
 	// cancelling the context instead aborts the loop with the context error —
 	// nobody is waiting for a best-effort plan after a disconnect.
 	TimeBudget time.Duration
+	// SeedGraph and SeedProgram supply a donor plan for incremental
+	// synthesis: when the donor graph is structurally close enough to g
+	// (normalized diff ≤ MaxSeedDistance), every iteration's program search
+	// is seeded from the donor — decisions in the unchanged region are
+	// pinned and the beam narrows (see synth.Options.Seed). A donor too far
+	// away, or one whose program fails to replay, silently degrades to cold
+	// synthesis. Portfolio arms (the expert-parallel MoE theory) always
+	// search cold: the filtered theory does not contain the pinned triples.
+	SeedGraph   *graph.Graph
+	SeedProgram *dist.Program
+	// SeedTheory optionally shares the donor graph's background theory
+	// (nil = built on demand while constructing the seed).
+	SeedTheory *theory.Theory
+	// MaxSeedDistance overrides the seeding cutoff
+	// (0 = synth.DefaultMaxSeedDistance).
+	MaxSeedDistance float64
 	// Theory overrides the background theory (nil = theory.New(g)). Batch
 	// planners synthesizing one graph against many clusters build the theory
 	// once and share it here: the theory depends only on the graph, never on
@@ -81,6 +97,11 @@ type Result struct {
 	// Passes reports the post-synthesis pass pipeline's rewrite stats for
 	// the returned program (zero when Options.DisablePasses is set).
 	Passes passes.Stats
+	// Seeded reports whether the returned program came out of a seeded
+	// (incremental) search rather than a cold one, and SeedDistance the
+	// donor's normalized structural distance (0 for an identical graph).
+	Seeded       bool
+	SeedDistance float64
 }
 
 // Optimize runs the full HAP pipeline on a training graph and cluster.
@@ -111,6 +132,19 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 		ts.SetAttrInt("nodes", int64(g.NumNodes()))
 		ts.SetAttrInt("outputs", int64(len(th.Outputs)))
 		ts.End()
+	}
+
+	// The seed is built once — the structural diff and donor replay depend
+	// only on the graphs and theories, never on the ratios the loop updates —
+	// and reused by every iteration's search.
+	if opt.SeedProgram != nil && opt.Synth.Seed == nil {
+		ss := span.Child("seed")
+		opt.Synth.Seed = synth.BuildSeed(opt.SeedGraph, opt.SeedProgram, opt.SeedTheory, g, th, opt.MaxSeedDistance)
+		if sd := opt.Synth.Seed; sd != nil {
+			ss.SetAttrFloat("distance", sd.Distance)
+			ss.SetAttrInt("steps", int64(sd.Steps()))
+		}
+		ss.End()
 	}
 
 	init := opt.InitialRatios
@@ -194,13 +228,20 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					outs[i].p, outs[i].stats, outs[i].err = synth.Synthesize(ictx, g, portfolio[i], c, b, so)
+					o := so
+					if i != 0 {
+						// Filtered portfolio theories carry their own triple
+						// set; the seed's pins reference the base theory's.
+						o.Seed = nil
+					}
+					outs[i].p, outs[i].stats, outs[i].err = synth.Synthesize(ictx, g, portfolio[i], c, b, o)
 				}(i)
 			}
 			wg.Wait()
 		}
 		var p *dist.Program
 		var stats synth.Stats
+		win := 0
 		for i := range outs {
 			cp, cs, err := outs[i].p, outs[i].stats, outs[i].err
 			if err != nil {
@@ -222,7 +263,7 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 				continue
 			}
 			if p == nil || cs.Cost < stats.Cost {
-				p, stats = cp, cs
+				p, stats, win = cp, cs, i
 			}
 		}
 		if p == nil {
@@ -246,6 +287,12 @@ func Optimize(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt Optio
 		t := model.Eval(b)
 		if best == nil || t < best.Cost {
 			best = &Result{Program: p, Ratios: cloneRatios(b), Cost: t, Iters: iter, Synth: stats, Pruned: pruned, Passes: pstats}
+			// stats.Seeded (not just a non-nil seed) so a small graph routed
+			// to exact A* — which ignores seeds — is not reported seeded.
+			if sd := opt.Synth.Seed; sd != nil && win == 0 && stats.Seeded {
+				best.Seeded = true
+				best.SeedDistance = sd.Distance
+			}
 		}
 		it.SetAttrFloat("cost", t)
 		it.End()

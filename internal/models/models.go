@@ -157,11 +157,25 @@ var vgg19Channels = []int{64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 51
 // resolution (the paper upsamples Cifar-10; 224 reproduces the 133M-class
 // parameter count of Table 1 with a 10-way classifier).
 func VGG19(batch, resolution, classes int) *graph.Graph {
+	return vgg19With(vgg19Channels, batch, resolution, classes)
+}
+
+// VGG19OneWider builds VGG19 with one mid-stack convolution widened
+// (256 → 320 channels): the canonical near-miss resubmission that the
+// incremental-synthesis benchmarks and tests plan seeded from the base
+// VGG19's cached plan.
+func VGG19OneWider(batch, resolution, classes int) *graph.Graph {
+	channels := append([]int(nil), vgg19Channels...)
+	channels[8] = 320
+	return vgg19With(channels, batch, resolution, classes)
+}
+
+func vgg19With(channels []int, batch, resolution, classes int) *graph.Graph {
 	g := graph.New()
 	ch, hw := 3, resolution
 	x := g.AddPlaceholder("images", 0, batch, ch*hw*hw)
 	h := x
-	for i, c := range vgg19Channels {
+	for i, c := range channels {
 		if c == 0 {
 			h = g.AddPool(h)
 			hw /= 2

@@ -235,6 +235,19 @@ func (s *Server) maybeReplicate(sp *obs.Span, key string, v CachedPlan) {
 func (s *Server) handleFleetEntries(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
+		// ?key= fetches one entry as a JSON object — the similarity layer's
+		// donor-plan fallback (fleet.Client.FetchEntry) — instead of the
+		// full warm-up stream.
+		if key := r.URL.Query().Get("key"); key != "" {
+			v, ok := s.store.Get(key)
+			if !ok {
+				s.fail(w, true, http.StatusNotFound, CodeNotFound, "no entry for key %q", key)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(fleet.Entry{Key: key, Plan: v.Plan, Bin: v.Bin, Passes: v.Passes, Version: v.Version, ETag: v.ETag})
+			return
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)

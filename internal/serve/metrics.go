@@ -141,6 +141,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("hap_serve_cache_hits_total", "Requests served straight from the plan cache.", st.CacheHits)
 	counter("hap_serve_cache_misses_total", "Requests that required (or joined) a synthesis.", st.CacheMisses)
 	counter("hap_serve_syntheses_total", "Plans actually synthesized.", st.Syntheses)
+	counter("hap_serve_synth_incremental_total", "Syntheses seeded from a similar cached plan (incremental synthesis).", st.SynthIncremental)
+	gauge("hap_serve_synth_seed_distance", "Normalized donor distance of the most recent seeded synthesis.", st.SynthSeedDistance)
 	counter("hap_serve_flight_shared_total", "Cache misses that joined an in-flight synthesis.", st.FlightShared)
 	counter("hap_serve_errors_total", "Requests answered with an error status.", st.Errors)
 	counter("hap_serve_cache_evictions_total", "Plans evicted by the LRU caps or the TTL sweep.", st.CacheEvictions)

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hap"
+	"hap/internal/cluster"
+	"hap/internal/graph"
+	"hap/internal/models"
+)
+
+// seedServeGraph builds a training MLP deep enough that a one-layer widening
+// stays under the seed distance cutoff (shallow models diff too coarsely).
+func seedServeGraph(widths ...int) *graph.Graph {
+	return models.Training(models.MLP(64, widths...))
+}
+
+// postHdr is post with the full response header set, for seed-header checks.
+func postHdr(t *testing.T, url string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// TestServeIncrementalSynthesis drives the full incremental path over the
+// wire: a first miss synthesizes cold and registers as a donor, a structurally
+// similar second miss seeds from it — observable as the X-HAP-Seed-Distance
+// header, the synth_incremental /stats counter, and the /metrics counter —
+// and the seeded plan still passes numeric verification.
+func TestServeIncrementalSynthesis(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := testCluster()
+	baseBody := requestBody(t, seedServeGraph(64, 96, 96, 96, 96, 96, 96, 32), c, RequestOptions{})
+	wideBody := requestBody(t, seedServeGraph(64, 96, 96, 112, 96, 96, 96, 32), c, RequestOptions{})
+
+	status, hdr, body := postHdr(t, srv.URL, baseBody)
+	if status != http.StatusOK {
+		t.Fatalf("donor request: status %d: %s", status, body)
+	}
+	if got := hdr.Get(SeedDistanceHeader); got != "" {
+		t.Errorf("first miss has no donor but sent %s = %q", SeedDistanceHeader, got)
+	}
+
+	status, hdr, plan := postHdr(t, srv.URL, wideBody)
+	if status != http.StatusOK {
+		t.Fatalf("widened request: status %d: %s", status, plan)
+	}
+	sd := hdr.Get(SeedDistanceHeader)
+	if sd == "" {
+		t.Fatalf("widened miss was not seeded: no %s header", SeedDistanceHeader)
+	}
+	d, err := strconv.ParseFloat(sd, 64)
+	if err != nil || d <= 0 || d > 1 {
+		t.Fatalf("%s = %q, want a distance in (0, 1]", SeedDistanceHeader, sd)
+	}
+
+	// The seeded plan must re-bind to a fresh rebuild of the widened model
+	// and pass numeric verification, exactly like a cold plan.
+	g2 := seedServeGraph(64, 96, 96, 112, 96, 96, 96, 32)
+	p, err := hap.ReadProgram(bytes.NewReader(plan), g2)
+	if err != nil {
+		t.Fatalf("ReadProgram on seeded plan: %v", err)
+	}
+	if err := p.Program.Validate(); err != nil {
+		t.Fatalf("seeded program ill-formed: %v", err)
+	}
+	if err := hap.Verify(p, c.M(), 7); err != nil {
+		t.Errorf("seeded plan fails verification: %v", err)
+	}
+
+	st := getStats(t, srv.URL)
+	if st.SynthIncremental != 1 {
+		t.Errorf("stats synth_incremental = %d, want 1", st.SynthIncremental)
+	}
+	if st.SynthSeedDistance != d {
+		t.Errorf("stats synth_seed_distance = %v, want header value %v", st.SynthSeedDistance, d)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "hap_serve_synth_incremental_total 1") {
+		t.Errorf("/metrics missing hap_serve_synth_incremental_total 1:\n%s", metrics)
+	}
+
+	// A repeat is a pure cache hit: no synthesis ran, so no seed header.
+	status, hdr, _ = postHdr(t, srv.URL, wideBody)
+	if status != http.StatusOK || hdr.Get("X-HAP-Cache") != "hit" {
+		t.Fatalf("repeat request: status %d, cache %q, want 200/hit", status, hdr.Get("X-HAP-Cache"))
+	}
+	if got := hdr.Get(SeedDistanceHeader); got != "" {
+		t.Errorf("cache hit sent %s = %q, want none", SeedDistanceHeader, got)
+	}
+}
+
+// TestServeSeedingDisabled: with DisableSeeding (-no-seed) a structurally
+// similar miss synthesizes cold — no seed header, no incremental counter.
+func TestServeSeedingDisabled(t *testing.T) {
+	s := New(Config{DisableSeeding: true})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := testCluster()
+
+	status, _, body := postHdr(t, srv.URL, requestBody(t, seedServeGraph(64, 96, 96, 96, 96, 96, 96, 32), c, RequestOptions{}))
+	if status != http.StatusOK {
+		t.Fatalf("donor request: status %d: %s", status, body)
+	}
+	status, hdr, body := postHdr(t, srv.URL, requestBody(t, seedServeGraph(64, 96, 96, 112, 96, 96, 96, 32), c, RequestOptions{}))
+	if status != http.StatusOK {
+		t.Fatalf("widened request: status %d: %s", status, body)
+	}
+	if got := hdr.Get(SeedDistanceHeader); got != "" {
+		t.Errorf("seeding disabled but response sent %s = %q", SeedDistanceHeader, got)
+	}
+	if st := s.Stats(); st.SynthIncremental != 0 {
+		t.Errorf("stats synth_incremental = %d with seeding disabled, want 0", st.SynthIncremental)
+	}
+}
+
+// TestServeEvictionDropsRegistries: when the LRU evicts a plan, its replan
+// registration and similarity-index entry go with it — the side registries
+// must not outgrow the cache (the unbounded-sources leak).
+func TestServeEvictionDropsRegistries(t *testing.T) {
+	s := New(Config{
+		MaxCacheEntries: 2,
+		Synthesize: func(ctx context.Context, g *graph.Graph, c *cluster.Cluster, opt hap.Options) (*hap.Plan, error) {
+			return hap.Parallelize(g, c, opt)
+		},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := testCluster()
+
+	for _, w := range []int{24, 32, 40, 48} {
+		g := seedServeGraph(w, 8)
+		status, _, body := post(t, srv.URL, requestBody(t, g, c, RequestOptions{}))
+		if status != http.StatusOK {
+			t.Fatalf("width %d: status %d: %s", w, status, body)
+		}
+	}
+	if st := s.Stats(); st.CacheEntries != 2 {
+		t.Fatalf("cache holds %d entries, want 2", st.CacheEntries)
+	}
+
+	s.telemetry.mu.Lock()
+	sources := len(s.telemetry.sources)
+	s.telemetry.mu.Unlock()
+	if sources != 2 {
+		t.Errorf("replan registry holds %d sources after evictions, want 2", sources)
+	}
+	if n := s.sim.len(); n != 2 {
+		t.Errorf("similarity index holds %d entries after evictions, want 2", n)
+	}
+}

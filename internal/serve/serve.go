@@ -49,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -75,6 +76,11 @@ const BinaryPlanContentType = "application/x-hap-plan"
 // PlanVersionHeader carries the served plan's monotonic version (see
 // CachedPlan.Version) on every plan response, including 304s.
 const PlanVersionHeader = "X-HAP-Plan-Version"
+
+// SeedDistanceHeader carries the donor's normalized structural distance on a
+// miss response whose synthesis was seeded from a similar cached plan
+// (incremental synthesis). Absent on cache hits and cold syntheses.
+const SeedDistanceHeader = "X-HAP-Seed-Distance"
 
 // Endpoint labels for the per-endpoint request counters and latency
 // histograms.
@@ -134,6 +140,13 @@ type Config struct {
 	// estimate with no sample newer than this reverts to the spec value
 	// (0 = the telemetry package default, 5 minutes).
 	TelemetryWindow time.Duration
+	// DisableSeeding turns off incremental synthesis (the -no-seed flag):
+	// cache misses always synthesize cold instead of seeding their search
+	// from the nearest similar cached plan, and drift replans stop reusing
+	// the pre-drift plan as a seed. Every served plan passes the same
+	// structural validation either way; the knob exists for A/B timing
+	// comparisons and debugging.
+	DisableSeeding bool
 	// Fleet, when non-nil, makes this daemon one node of a sharded,
 	// replicated plan-cache fleet (see fleet.go and internal/fleet).
 	Fleet *fleet.Fleet
@@ -228,18 +241,23 @@ func (o RequestOptions) optimize() bool {
 
 // Stats is the GET /stats payload.
 type Stats struct {
-	Protocol       string  `json:"protocol"`        // wire protocol version
-	Requests       uint64  `json:"requests"`        // plan requests, all endpoints
-	CacheHits      uint64  `json:"cache_hits"`      // served straight from cache
-	CacheMisses    uint64  `json:"cache_misses"`    // required (or joined) a synthesis
-	Syntheses      uint64  `json:"syntheses"`       // plans actually synthesized
-	FlightShared   uint64  `json:"flight_shared"`   // misses that joined an in-flight synthesis
-	Errors         uint64  `json:"errors"`          // requests answered with an error status
-	CacheEntries   int     `json:"cache_entries"`   // plans currently cached
-	CacheBytes     int64   `json:"cache_bytes"`     // bytes currently cached
-	CacheEvictions uint64  `json:"cache_evictions"` // plans evicted by the LRU caps or the TTL sweep
-	CacheRestored  int     `json:"cache_restored"`  // plans reloaded from CacheDir on boot
-	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Protocol    string `json:"protocol"`     // wire protocol version
+	Requests    uint64 `json:"requests"`     // plan requests, all endpoints
+	CacheHits   uint64 `json:"cache_hits"`   // served straight from cache
+	CacheMisses uint64 `json:"cache_misses"` // required (or joined) a synthesis
+	Syntheses   uint64 `json:"syntheses"`    // plans actually synthesized
+	// SynthIncremental counts syntheses that ran seeded from a donor plan
+	// (incremental synthesis); SynthSeedDistance is the most recent seeded
+	// search's normalized donor distance.
+	SynthIncremental  uint64  `json:"synth_incremental"`
+	SynthSeedDistance float64 `json:"synth_seed_distance"`
+	FlightShared      uint64  `json:"flight_shared"`   // misses that joined an in-flight synthesis
+	Errors            uint64  `json:"errors"`          // requests answered with an error status
+	CacheEntries      int     `json:"cache_entries"`   // plans currently cached
+	CacheBytes        int64   `json:"cache_bytes"`     // bytes currently cached
+	CacheEvictions    uint64  `json:"cache_evictions"` // plans evicted by the LRU caps or the TTL sweep
+	CacheRestored     int     `json:"cache_restored"`  // plans reloaded from CacheDir on boot
+	UptimeSeconds     float64 `json:"uptime_seconds"`
 	// RequestsByEndpoint breaks Requests down by wire endpoint
 	// (legacy, v1, v1_batch).
 	RequestsByEndpoint map[string]uint64 `json:"requests_by_endpoint"`
@@ -280,6 +298,15 @@ type Server struct {
 	syntheses    atomic.Uint64
 	flightShared atomic.Uint64
 	errors       atomic.Uint64
+
+	// synthIncremental counts seeded syntheses; seedDistBits holds the last
+	// seeded search's donor distance as float64 bits (atomic gauge).
+	synthIncremental atomic.Uint64
+	seedDistBits     atomic.Uint64
+
+	// sim is the segment-level similarity index donor lookups scan
+	// (similarity.go).
+	sim similarityIndex
 
 	fleetProxied         atomic.Uint64 // misses answered by proxying to a peer
 	fleetProxyErrors     atomic.Uint64 // failed proxy attempts (peer marked down)
@@ -379,7 +406,13 @@ func New(cfg Config) *Server {
 			sources:  map[string]planSource{},
 			replan:   map[string]bool{},
 		},
+		sim: similarityIndex{entries: map[string]simEntry{}},
 	}
+	// Evictions — LRU, TTL sweep, or a rejected oversized insert — drop the
+	// key's replan source and similarity entries, so the side registries stay
+	// bounded by the store's own caps. Wired after construction: the restore
+	// pass above ran with empty registries, so it has nothing to drop.
+	mds.onEvict = s.dropPlanRegistry
 	// Tracing is on by default (an empty ring is just a few pointers; the
 	// per-request cost is a handful of small allocations and the synthesis
 	// hot path stays untouched — spans attach per phase, not per candidate).
@@ -451,18 +484,20 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Stats() Stats {
 	ss := s.store.Stats()
 	st := Stats{
-		Protocol:       ProtocolVersion,
-		Requests:       s.requests.Load(),
-		CacheHits:      s.hits.Load(),
-		CacheMisses:    s.misses.Load(),
-		Syntheses:      s.syntheses.Load(),
-		FlightShared:   s.flightShared.Load(),
-		Errors:         s.errors.Load(),
-		CacheEntries:   ss.Entries,
-		CacheBytes:     ss.Bytes,
-		CacheEvictions: ss.Evictions,
-		CacheRestored:  ss.Restored,
-		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Protocol:          ProtocolVersion,
+		Requests:          s.requests.Load(),
+		CacheHits:         s.hits.Load(),
+		CacheMisses:       s.misses.Load(),
+		Syntheses:         s.syntheses.Load(),
+		SynthIncremental:  s.synthIncremental.Load(),
+		SynthSeedDistance: math.Float64frombits(s.seedDistBits.Load()),
+		FlightShared:      s.flightShared.Load(),
+		Errors:            s.errors.Load(),
+		CacheEntries:      ss.Entries,
+		CacheBytes:        ss.Bytes,
+		CacheEvictions:    ss.Evictions,
+		CacheRestored:     ss.Restored,
+		UptimeSeconds:     time.Since(s.start).Seconds(),
 		RequestsByEndpoint: map[string]uint64{
 			EndpointLegacy:  s.epLegacy.Load(),
 			EndpointV1:      s.epV1.Load(),
@@ -504,8 +539,14 @@ func (s *Server) recordPassStats(ps hap.PassStats) {
 // The same string is the fleet routing fingerprint: every node derives the
 // same key from the same request, so ring ownership is request-determined.
 func cacheKey(g *graph.Graph, c *cluster.Cluster, opt RequestOptions) string {
-	return fmt.Sprintf("%s:%s:s%d:i%d:x%t:o%t",
-		graph.Fingerprint(g), c.Fingerprint(),
+	return fmt.Sprintf("%s:%s:%s", graph.Fingerprint(g), c.Fingerprint(), optsSig(opt))
+}
+
+// optsSig is the planner-options slice of the cache key, shared with the
+// similarity index: a donor plan must have been synthesized under the same
+// options to be worth seeding from.
+func optsSig(opt RequestOptions) string {
+	return fmt.Sprintf("s%d:i%d:x%t:o%t",
 		opt.Segments, opt.MaxIterations, opt.ExactSearch, opt.optimize())
 }
 
@@ -678,6 +719,11 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool, 
 	// executing caller it parents the synthesize/encode/replicate subtree,
 	// for joined callers it measures the wait on someone else's synthesis.
 	fs := rt.span("flight")
+	// seedDist is set by the executing caller's closure when its synthesis
+	// ran seeded, and stamps the response header below. Joined waiters never
+	// run the closure, so they report the plan without a seed header — they
+	// paid a wait, not a seeded search.
+	seedDist := -1.0
 	plan, err, shared := s.flight.do(r.Context(), key, func(fctx context.Context) (CachedPlan, error) {
 		// Re-check under the flight: a request that missed while a previous
 		// flight for this key was completing would otherwise re-synthesize a
@@ -686,6 +732,20 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool, 
 			return v, nil
 		}
 		s.syntheses.Add(1)
+		ho := s.hapOptions(req.Options)
+		// Incremental synthesis: find the nearest cached plan by segment
+		// sub-fingerprints and seed the search from it. The span records the
+		// donor choice; the planner's own search span carries the resulting
+		// seed distance and fast-forward depth.
+		if !s.cfg.DisableSeeding {
+			sds := fs.Child("seeded_search")
+			if dk, dg, dp, sharedSubs := s.seedDonor(fctx, g, c.Fingerprint(), optsSig(req.Options), key); dp != nil {
+				ho.SeedGraph, ho.SeedPlan = dg, dp
+				sds.SetAttrStr("donor", dk)
+				sds.SetAttrInt("shared_subs", int64(sharedSubs))
+			}
+			sds.End()
+		}
 		// fctx is the flight context: alive while any client still wants
 		// this plan, cancelled when the last one disconnects — so a dropped
 		// connection aborts the search without killing the synthesis other
@@ -694,10 +754,18 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool, 
 		// to the executing caller's trace — a joined waiter's flight span
 		// shows the wait, not someone else's search.
 		ss := fs.Child("synthesize")
-		p, err := s.cfg.Synthesize(obs.ContextWithSpan(fctx, ss), g, c, s.hapOptions(req.Options))
+		p, err := s.cfg.Synthesize(obs.ContextWithSpan(fctx, ss), g, c, ho)
+		if err == nil && p.Seeded {
+			ss.SetAttrFloat("seed_distance", p.SeedDistance)
+		}
 		ss.End()
 		if err != nil {
 			return CachedPlan{}, err
+		}
+		if p.Seeded {
+			s.synthIncremental.Add(1)
+			s.seedDistBits.Store(math.Float64bits(p.SeedDistance))
+			seedDist = p.SeedDistance
 		}
 		s.recordPassStats(p.Passes)
 		es := fs.Child("encode")
@@ -709,8 +777,9 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool, 
 		// Cache before the flight key is released: a request arriving between
 		// flight completion and a later insert would synthesize a second time.
 		// Registering the source makes the entry eligible for drift-triggered
-		// background replanning (telemetry.go).
-		s.recordPlanSource(key, g, c, req.Options, c.Fingerprint())
+		// background replanning (telemetry.go) and indexes it as a future
+		// seed donor (similarity.go).
+		s.recordPlanSource(key, g, req.Graph, c, req.Options, c.Fingerprint())
 		return s.storePlan(fs, key, v), nil
 	})
 	fs.SetAttrBool("shared", shared)
@@ -722,6 +791,9 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool, 
 		status, code := synthErrorCode(err)
 		s.fail(w, v1, status, code, "synthesis failed: %v", err)
 		return
+	}
+	if seedDist >= 0 {
+		w.Header().Set(SeedDistanceHeader, strconv.FormatFloat(seedDist, 'g', -1, 64))
 	}
 	writePlan(w, r, plan, "miss", binary)
 }
@@ -849,7 +921,7 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			c := clusters[missing[key]]
-			s.recordPlanSource(key, g, c, req.Options, c.Fingerprint())
+			s.recordPlanSource(key, g, req.Graph, c, req.Options, c.Fingerprint())
 			fresh[key] = s.storePlan(es, key, v)
 		}
 		es.End()

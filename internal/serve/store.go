@@ -78,6 +78,12 @@ type memDiskStore struct {
 	persist  *diskStore // nil = memory only
 	ttl      time.Duration
 	restored int
+	// onEvict, when set, is called with the keys each Put or sweep evicted
+	// (or rejected), after the cache and disk state settle — the hook the
+	// server uses to drop side-registry entries (replan sources, similarity
+	// index) whose plan no longer exists. Set once right after construction,
+	// before the store is shared; the restore pass runs without it.
+	onEvict func(keys []string)
 }
 
 var _ PlanStore = (*memDiskStore)(nil)
@@ -139,6 +145,14 @@ func (s *memDiskStore) Put(key string, v CachedPlan) bool {
 			s.persist.remove(k)
 		}
 	}
+	if !stored {
+		// A rejected insert is an eviction of the key itself: nothing is
+		// cached, so nothing should stay registered under it.
+		evicted = append(evicted, key)
+	}
+	if s.onEvict != nil && len(evicted) > 0 {
+		s.onEvict(evicted)
+	}
 	return stored
 }
 
@@ -178,6 +192,9 @@ func (s *memDiskStore) sweep(now time.Time) int {
 		for _, k := range expired {
 			s.persist.remove(k)
 		}
+	}
+	if s.onEvict != nil && len(expired) > 0 {
+		s.onEvict(expired)
 	}
 	return len(expired)
 }

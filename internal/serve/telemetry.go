@@ -107,6 +107,10 @@ type planSource struct {
 	g    *graph.Graph
 	spec *cluster.Cluster
 	opts RequestOptions
+	// graphJSON is the request's raw graph wire form, kept so a replan can
+	// decode a fresh donor copy for seeding (the registered g is mutated by
+	// the replan's own synthesis and must not be shared with a donor bind).
+	graphJSON []byte
 	// specFP is spec.Fingerprint(), precomputed for the replan scan.
 	specFP string
 	// plannedFP fingerprints the cluster the cached content was actually
@@ -131,18 +135,20 @@ type telemetryState struct {
 }
 
 // recordPlanSource registers a locally synthesized entry for drift-triggered
-// replanning. plannedFP is the fingerprint of the cluster the plan was
-// synthesized against.
-func (s *Server) recordPlanSource(key string, g *graph.Graph, spec *cluster.Cluster, opts RequestOptions, plannedFP string) {
+// replanning and indexes it as a similarity donor. plannedFP is the
+// fingerprint of the cluster the plan was synthesized against; graphJSON the
+// request's raw graph wire form.
+func (s *Server) recordPlanSource(key string, g *graph.Graph, graphJSON []byte, spec *cluster.Cluster, opts RequestOptions, plannedFP string) {
 	t := &s.telemetry
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	src, ok := t.sources[key]
 	if !ok {
-		src = planSource{g: g, spec: spec, opts: opts, specFP: spec.Fingerprint()}
+		src = planSource{g: g, spec: spec, opts: opts, graphJSON: graphJSON, specFP: spec.Fingerprint()}
 	}
 	src.plannedFP = plannedFP
 	t.sources[key] = src
+	t.mu.Unlock()
+	s.recordSimilarity(key, g, graphJSON, spec.Fingerprint(), optsSig(opts))
 }
 
 // monitorFor returns (creating on first use) the monitor for spec.
@@ -241,8 +247,10 @@ func (s *Server) replanForSpec(specFP string, mon *telemetry.Monitor) int {
 		}
 		old, ok := s.store.Get(key)
 		if !ok {
-			// Evicted since synthesis: nothing to refresh, drop the source.
+			// Evicted since synthesis: nothing to refresh, drop the source
+			// (and its similarity entry — same key, same lifetime).
 			delete(t.sources, key)
+			s.sim.drop([]string{key})
 			continue
 		}
 		t.replan[key] = true
@@ -287,8 +295,29 @@ func (s *Server) replanOne(key string, src planSource, drifted *cluster.Cluster,
 		defer cancel()
 	}
 	s.syntheses.Add(1)
+	ho := s.hapOptions(src.opts)
+	// Seed the replan from the pre-drift plan: the graph is unchanged, so the
+	// donor replay pins the whole program and the loop's work concentrates on
+	// rebalancing the sharding ratios against the drifted cluster — Q is
+	// structure-driven, B absorbs the performance drift. The donor binds to a
+	// freshly decoded graph copy: hap.ReadProgram adopts the plan's segment
+	// assignment onto the graph it is given, and src.g is about to be
+	// synthesized against. A decode failure just replans cold.
+	if !s.cfg.DisableSeeding && len(src.graphJSON) > 0 {
+		sds := root.Child("seeded_search")
+		if dg, dp, err := decodeDonor(src.graphJSON, old.Plan); err == nil {
+			ho.SeedGraph, ho.SeedPlan = dg, dp
+			sds.SetAttrStr("donor", key)
+		}
+		sds.End()
+	}
 	ss := root.Child("synthesize")
-	p, err := s.cfg.Synthesize(obs.ContextWithSpan(ctx, ss), src.g, drifted, s.hapOptions(src.opts))
+	p, err := s.cfg.Synthesize(obs.ContextWithSpan(ctx, ss), src.g, drifted, ho)
+	if err == nil && p.Seeded {
+		ss.SetAttrFloat("seed_distance", p.SeedDistance)
+		s.synthIncremental.Add(1)
+		s.seedDistBits.Store(math.Float64bits(p.SeedDistance))
+	}
 	ss.End()
 	if err != nil {
 		t.addReplanError()

@@ -37,3 +37,35 @@ func benchSynthesize(b *testing.B, model models.PaperModel) {
 func BenchmarkSynthesizeVGG19(b *testing.B) { benchSynthesize(b, models.ModelVGG19) }
 func BenchmarkSynthesizeBERT(b *testing.B)  { benchSynthesize(b, models.ModelBERTBase) }
 func BenchmarkSynthesizeMoE(b *testing.B)   { benchSynthesize(b, models.ModelBERTMoE) }
+
+// BenchmarkSynthesizeIncrementalVGG19 is the warm near-miss path: a
+// one-layer-wider VGG19 planned seeded from the base VGG19's plan. The timed
+// region is everything a cache miss with a donor pays — the structural diff,
+// the donor replay (donor theory included), and the seeded search — and the
+// benchcheck gate holds it under 10% of BenchmarkSynthesizeVGG19/workers=1.
+func BenchmarkSynthesizeIncrementalVGG19(b *testing.B) {
+	c := cluster.PaperHeterogeneous(1)
+	batch := models.PerDeviceBatch(models.ModelVGG19) * c.TotalGPUs()
+	donorG := models.Training(models.VGG19(batch, 224, 10))
+	donorTh := theory.New(donorG)
+	donorRatios := cost.UniformRatios(donorG.NumSegments(), c.ProportionalRatios())
+	donor, _, err := Synthesize(context.Background(), donorG, donorTh, c, donorRatios, Options{BeamWidth: 48, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wide := models.Training(models.VGG19OneWider(batch, 224, 10))
+	thWide := theory.New(wide)
+	ratios := cost.UniformRatios(wide.NumSegments(), c.ProportionalRatios())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := BuildSeed(donorG, donor, nil, wide, thWide, 0)
+		if seed == nil {
+			b.Fatal("BuildSeed returned nil")
+		}
+		opt := Options{BeamWidth: -1, Workers: 1, Seed: seed}
+		if _, _, err := Synthesize(context.Background(), wide, thWide, c, ratios, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"hap/internal/cluster"
+	"hap/internal/cost"
+	"hap/internal/graph"
+	"hap/internal/models"
+	"hap/internal/theory"
+)
+
+// seedTestGraph builds a training MLP with the given hidden widths.
+func seedTestGraph(t *testing.T, widths ...int) *graph.Graph {
+	t.Helper()
+	return models.Training(models.MLP(64, widths...))
+}
+
+func synthFor(g *graph.Graph, c *cluster.Cluster, opt Options) (*Synthesizer, *theory.Theory) {
+	th := theory.New(g)
+	b := cost.UniformRatios(g.NumSegments(), c.ProportionalRatios())
+	return New(g, th, c, b, opt), th
+}
+
+// TestSeedFullReplay seeds a search from its own plan: the diff is zero, the
+// whole donor program fast-forwards, and the result must be byte-identical.
+func TestSeedFullReplay(t *testing.T) {
+	g := seedTestGraph(t, 64, 128, 96, 32)
+	c := cluster.PaperHeterogeneous(1)
+	opt := Options{BeamWidth: 24, Workers: 1}
+
+	sy, th := synthFor(g, c, opt)
+	cold, coldStats, err := sy.Run(context.Background())
+	if err != nil {
+		t.Fatalf("cold synthesis: %v", err)
+	}
+
+	seed := BuildSeed(g, cold, th, g, th, 0)
+	if seed == nil {
+		t.Fatalf("BuildSeed returned nil for an identical graph")
+	}
+	if seed.Distance != 0 {
+		t.Fatalf("seed distance = %v, want 0", seed.Distance)
+	}
+
+	opt.Seed = seed
+	b := cost.UniformRatios(g.NumSegments(), c.ProportionalRatios())
+	seeded, stats, err := New(g, th, c, b, opt).Run(context.Background())
+	if err != nil {
+		t.Fatalf("seeded synthesis: %v", err)
+	}
+	if seeded.String() != cold.String() {
+		t.Fatalf("full replay is not byte-identical:\ncold:\n%s\nseeded:\n%s", cold, seeded)
+	}
+	if stats.Cost != coldStats.Cost {
+		t.Fatalf("full replay cost %v != cold cost %v", stats.Cost, coldStats.Cost)
+	}
+	if stats.Expansions != 0 {
+		t.Fatalf("full replay ran %d expansions, want 0 (no search)", stats.Expansions)
+	}
+}
+
+// TestSeedWidenedModel seeds a widened model's search from the base model's
+// plan: the seeded search must stay valid and cost no worse than cold.
+func TestSeedWidenedModel(t *testing.T) {
+	base := seedTestGraph(t, 64, 96, 96, 96, 96, 96, 96, 32)
+	wide := seedTestGraph(t, 64, 96, 96, 112, 96, 96, 96, 32)
+	c := cluster.PaperHeterogeneous(1)
+	opt := Options{BeamWidth: 24, Workers: 1}
+
+	syBase, thBase := synthFor(base, c, opt)
+	donor, _, err := syBase.Run(context.Background())
+	if err != nil {
+		t.Fatalf("donor synthesis: %v", err)
+	}
+	syCold, thWide := synthFor(wide, c, opt)
+	_, coldStats, err := syCold.Run(context.Background())
+	if err != nil {
+		t.Fatalf("cold synthesis: %v", err)
+	}
+
+	seed := BuildSeed(base, donor, thBase, wide, thWide, 0)
+	if seed == nil {
+		t.Fatalf("BuildSeed returned nil for a one-layer widening")
+	}
+	if seed.Distance <= 0 || seed.Distance > DefaultMaxSeedDistance {
+		t.Fatalf("seed distance = %v, want in (0, %v]", seed.Distance, DefaultMaxSeedDistance)
+	}
+
+	opt.Seed = seed
+	b := cost.UniformRatios(wide.NumSegments(), c.ProportionalRatios())
+	seeded, stats, err := New(wide, thWide, c, b, opt).Run(context.Background())
+	if err != nil {
+		t.Fatalf("seeded synthesis: %v", err)
+	}
+	if err := seeded.Validate(); err != nil {
+		t.Fatalf("seeded program ill-formed: %v", err)
+	}
+	if stats.Cost > coldStats.Cost*(1+1e-9) {
+		t.Fatalf("seeded cost %v worse than cold %v", stats.Cost, coldStats.Cost)
+	}
+	if stats.Expansions >= coldStats.Expansions {
+		t.Fatalf("seeded search did not shrink: %d expansions vs cold %d", stats.Expansions, coldStats.Expansions)
+	}
+}
+
+// TestSeedWorkerInvariance: seeded plans stay byte-identical across worker
+// counts, like cold ones.
+func TestSeedWorkerInvariance(t *testing.T) {
+	base := seedTestGraph(t, 64, 96, 96, 96, 96, 96, 96, 32)
+	wide := seedTestGraph(t, 64, 96, 96, 112, 96, 96, 96, 32)
+	c := cluster.PaperHeterogeneous(1)
+
+	syBase, thBase := synthFor(base, c, Options{BeamWidth: 24, Workers: 1})
+	donor, _, err := syBase.Run(context.Background())
+	if err != nil {
+		t.Fatalf("donor synthesis: %v", err)
+	}
+	thWide := theory.New(wide)
+	seed := BuildSeed(base, donor, thBase, wide, thWide, 0)
+	if seed == nil {
+		t.Fatalf("BuildSeed returned nil")
+	}
+	b := cost.UniformRatios(wide.NumSegments(), c.ProportionalRatios())
+	var first string
+	for _, workers := range []int{1, 4} {
+		p, _, err := New(wide, thWide, c, b, Options{BeamWidth: 24, Workers: workers, Seed: seed}).Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if first == "" {
+			first = p.String()
+		} else if p.String() != first {
+			t.Fatalf("seeded plan differs between worker counts")
+		}
+	}
+}
+
+// TestSeedDistanceThreshold: a structurally unrelated donor is rejected.
+func TestSeedDistanceThreshold(t *testing.T) {
+	base := seedTestGraph(t, 64, 128, 96, 32)
+	other := seedTestGraph(t, 48, 80, 56, 24, 16)
+	c := cluster.PaperHeterogeneous(1)
+	syBase, thBase := synthFor(base, c, Options{BeamWidth: 24, Workers: 1})
+	donor, _, err := syBase.Run(context.Background())
+	if err != nil {
+		t.Fatalf("donor synthesis: %v", err)
+	}
+	thOther := theory.New(other)
+	if sd := BuildSeed(base, donor, thBase, other, thOther, 0); sd != nil {
+		t.Fatalf("BuildSeed accepted an unrelated donor (distance %v)", sd.Distance)
+	}
+}

@@ -75,10 +75,23 @@ type Options struct {
 	// DisableSFB removes replicated-MatMul triples on non-leaf operands,
 	// which is what sufficient factor broadcasting synthesizes through.
 	DisableSFB bool
+	// Seed carries a donor plan's translated decisions (see BuildSeed). The
+	// beam fast-forwards through the decision prefix and pins seeded nodes
+	// to their donor candidates; automatic mode also narrows the beam, since
+	// a pinned level branches only on communication timing. Exact A* ignores
+	// the seed. Nil = cold search.
+	Seed *Seed
 }
 
 // Auto returns BeamWidth -1 options (automatic mode selection).
 func Auto() Options { return Options{BeamWidth: -1} }
+
+// seededBeamWidth is automatic mode's beam width for seeded searches. With
+// donor pins collapsing computation branching to one candidate per level,
+// the beam explores only communication timing; 4 states reproduce the donor
+// plan's quality on near-miss graphs at a fraction of the cold search's
+// work (the <10%-of-cold target benchcheck gates).
+const seededBeamWidth = 4
 
 // Stats reports search effort.
 type Stats struct {
@@ -86,6 +99,10 @@ type Stats struct {
 	Pushed     int
 	Elapsed    time.Duration
 	Cost       float64 // estimated t(Q,B) of the returned program
+	// Seeded reports whether the search actually consumed a donor seed.
+	// False when a seed was supplied but automatic mode routed the graph to
+	// exact A*, which ignores seeds.
+	Seeded bool
 }
 
 const (
@@ -183,13 +200,11 @@ func (s *state) setCommunicated(id graph.NodeID) {
 	bitSet(s.communicated, id)
 }
 
-// clone allocates a successor of s from the pool. The bitsets are shared
-// copy-on-write; every other slice is copied into recycled backing.
+// clone allocates a successor of s from the per-search arena. The bitsets
+// are shared copy-on-write; every other slice is copied into recycled (or
+// slab-carved) backing.
 func (sy *Synthesizer) clone(s *state) *state {
-	c, _ := sy.statePool.Get().(*state)
-	if c == nil {
-		c = &state{}
-	}
+	c := sy.arena.get()
 	c.parent = s
 	c.instrs = c.instrs[:0]
 	c.props = append(c.props[:0], s.props...)
@@ -207,7 +222,7 @@ func (sy *Synthesizer) clone(s *state) *state {
 	return c
 }
 
-// release returns a state to the pool and recycles the bitsets it owns.
+// release returns a state to the arena and recycles the bitsets it owns.
 // Callers must guarantee no live state borrows those bitsets: fresh
 // candidates discarded before gaining children, and beam-level states
 // retired with no surviving child and no retained complete descendant,
@@ -222,7 +237,7 @@ func (sy *Synthesizer) release(s *state) {
 	s.computed, s.communicated = nil, nil
 	s.ownsComputed, s.ownsCommunicated = false, false
 	s.parent = nil
-	sy.statePool.Put(s)
+	sy.arena.put(s)
 }
 
 func (sy *Synthesizer) releaseAll(states []*state) {
@@ -377,9 +392,11 @@ type Synthesizer struct {
 	commT   [][numColl]float64
 	commPen [][]float64
 
-	// statePool recycles beam states (and their slice backing) retired at
-	// level boundaries; see release for the aliasing discipline.
-	statePool sync.Pool
+	// arena allocates and recycles beam states (and their slice backing);
+	// retired states return at level boundaries (see release for the
+	// aliasing discipline) and everything is dropped wholesale with the
+	// Synthesizer when the search ends.
+	arena stateArena
 
 	// Serial scratch buffers for exact A* (never used concurrently).
 	expandBuf []*state
@@ -400,6 +417,12 @@ func New(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]float64, o
 		// allocates gigabytes before MaxExpansions trips.
 		if g.NumNodes() <= 24 && c.M() <= 2 {
 			opt.BeamWidth = 0 // exact
+		} else if opt.Seed != nil {
+			// Seeded searches branch almost only on communication timing —
+			// every pinned level emits one computation candidate — so a much
+			// narrower beam loses nothing on the unchanged regions and still
+			// searches the changed window with full candidate enumeration.
+			opt.BeamWidth = seededBeamWidth
 		} else {
 			opt.BeamWidth = 48
 		}
@@ -413,6 +436,7 @@ func New(g *graph.Graph, th *theory.Theory, c *cluster.Cluster, b [][]float64, o
 		commT:            make([][numColl]float64, g.NumNodes()),
 		commPen:          make([][]float64, g.NumNodes()),
 	}
+	s.arena.init(g.NumNodes(), c.M())
 	for i := range s.outputIdx {
 		s.outputIdx[i] = -1
 	}
@@ -528,7 +552,25 @@ func (sy *Synthesizer) Run(ctx context.Context) (*dist.Program, Stats, error) {
 	var stats Stats
 	var err error
 	if sy.opt.BeamWidth > 0 {
-		best, stats, err = sy.runBeam(root)
+		start := root
+		if sy.opt.Seed != nil {
+			var applied int
+			var done bool
+			start, applied, done = sy.fastForward(root)
+			if sy.span != nil {
+				sy.span.SetAttrFloat("seed_distance", sy.opt.Seed.Distance)
+				sy.span.SetAttrInt("seed_prefix", int64(applied))
+			}
+			if done {
+				// The whole donor program replayed: the state is complete and
+				// byte-identical to the donor — nothing left to search.
+				best, stats = start, Stats{Pushed: applied}
+			}
+		}
+		if best == nil {
+			best, stats, err = sy.runBeam(start)
+		}
+		stats.Seeded = sy.opt.Seed != nil
 	} else {
 		best, stats, err = sy.runAStar(root)
 	}
@@ -632,7 +674,16 @@ func (sy *Synthesizer) genCandidates(s *state, pi int32, w *beamWorker) {
 	// reqNodes and nextReq finds the candidate node in O(1).
 	if int(s.nextReq) < len(sy.reqNodes) {
 		id := sy.reqNodes[s.nextReq]
-		for _, tr := range sy.th.ByNode[id] {
+		trs := sy.th.ByNode[id]
+		// A seeded node emits only its pinned candidate while the pin is
+		// applicable; an inapplicable pin (changed-region interference)
+		// degrades to full enumeration.
+		if sd := sy.opt.Seed; sd != nil && sd.compPin[id] != nil {
+			if pin := sd.compPin[id]; !(sy.opt.DisableSFB && sy.isSFBTriple(pin)) && sy.compApplicable(s, pin) {
+				trs = sd.compPinOne[id]
+			}
+		}
+		for _, tr := range trs {
 			if sy.opt.DisableSFB && sy.isSFBTriple(tr) {
 				continue
 			}
@@ -651,6 +702,18 @@ func (sy *Synthesizer) genCandidates(s *state, pi int32, w *beamWorker) {
 			continue
 		}
 		w.ccBuf = sy.commCandidates(s, p, w.ccBuf[:0])
+		// A pinned tensor keeps only its donor collective when legal here;
+		// timing — which level takes it — stays free.
+		if sd := sy.opt.Seed; sd != nil && sd.commPin[p.Ref].valid {
+			pin := sd.commPin[p.Ref]
+			for _, cc := range w.ccBuf {
+				if cc.in.Coll == pin.coll && cc.in.Dim == pin.dim && cc.in.Dim2 == pin.dim2 {
+					w.ccBuf[0] = cc
+					w.ccBuf = w.ccBuf[:1]
+					break
+				}
+			}
+		}
 		for _, cc := range w.ccBuf {
 			score := sy.commDelta(s, cc) + s.remFlops/sy.totalFlopsPerSec
 			w.out = append(w.out, beamCand{parent: pi, cc: cc, score: score})

@@ -2,8 +2,11 @@
 // committed baseline (BENCH_synth.json) and fails when allocs/op regress
 // beyond a ratio. CI's bench-smoke step runs it so an allocation regression
 // in the synthesis hot path fails the build instead of landing silently;
-// ns/op is reported but never gated — CI machines vary too much for
-// wall-clock assertions.
+// absolute ns/op is reported but never gated — CI machines vary too much
+// for wall-clock assertions. The baseline may also declare relative gates:
+// one benchmark's ns/op bounded by a fraction of another's from the SAME
+// run (e.g. incremental VGG19 synthesis under 10% of cold). Ratios between
+// same-run measurements cancel out the hardware, so they are safe to gate.
 //
 // Usage:
 //
@@ -31,6 +34,17 @@ type Baseline struct {
 	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to its
 	// committed numbers.
 	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Relative gates same-run ns/op ratios. Gates whose benchmarks did not
+	// both run are skipped (CI may run a subset).
+	Relative []RelativeGate `json:"relative,omitempty"`
+}
+
+// RelativeGate fails the check when Bench's measured ns/op exceeds MaxRatio
+// times Versus's measured ns/op, both taken from the bench output under test.
+type RelativeGate struct {
+	Bench    string  `json:"bench"`
+	Versus   string  `json:"versus"`
+	MaxRatio float64 `json:"max_ratio"`
 }
 
 // Entry is one benchmark's committed numbers.
@@ -80,6 +94,7 @@ func main() {
 
 	matched := 0
 	failed := false
+	measured := map[string]float64{} // name → ns/op from this run
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -87,12 +102,13 @@ func main() {
 			continue
 		}
 		name := stripProcs(m[1])
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		measured[name] = ns
 		entry, ok := base.Benchmarks[name]
 		if !ok {
 			continue
 		}
 		matched++
-		ns, _ := strconv.ParseFloat(m[2], 64)
 		allocs, _ := strconv.ParseFloat(m[4], 64)
 		ratio := allocs / entry.AllocsPerOp
 		status := "ok"
@@ -109,8 +125,23 @@ func main() {
 	if matched == 0 {
 		fatal("no benchmark lines matched the baseline — wrong -bench output, or missing -benchmem?")
 	}
+	for _, g := range base.Relative {
+		ns, okB := measured[g.Bench]
+		vs, okV := measured[g.Versus]
+		if !okB || !okV {
+			continue // partial runs skip the gate rather than fail it
+		}
+		ratio := ns / vs
+		status := "ok"
+		if ratio > g.MaxRatio {
+			status = fmt.Sprintf("FAIL (>%.2fx)", g.MaxRatio)
+			failed = true
+		}
+		fmt.Printf("%s: %.1f ms/op = %.2fx of %s's %.1f ms/op (gate %.2fx, %s)\n",
+			g.Bench, ns/1e6, ratio, g.Versus, vs/1e6, g.MaxRatio, status)
+	}
 	if failed {
-		fatal("allocation regression detected")
+		fatal("benchmark regression detected")
 	}
 }
 

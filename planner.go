@@ -51,6 +51,14 @@ func WithTimeBudget(d time.Duration) Option { return func(o *Options) { o.TimeBu
 // Plans are byte-identical for every worker count.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
+// WithSeed supplies a donor plan for incremental synthesis: searches are
+// seeded from donorPlan when donorG is structurally close enough to the
+// planned graph, and silently fall back to cold synthesis otherwise (see
+// Options.SeedGraph).
+func WithSeed(donorG *Graph, donorPlan *Plan) Option {
+	return func(o *Options) { o.SeedGraph, o.SeedPlan = donorG, donorPlan }
+}
+
 // WithOptions adopts a legacy Options struct wholesale — the bridge for
 // callers migrating from Parallelize.
 func WithOptions(opt Options) Option { return func(o *Options) { *o = opt } }
@@ -97,6 +105,11 @@ func (p *Planner) hapoptOptions(th *theory.Theory, workers int) hapopt.Options {
 		o.Synth = synth.Options{}
 	}
 	o.Synth.Workers = workers
+	if p.opt.SeedPlan != nil && p.opt.SeedGraph != nil {
+		o.SeedGraph = p.opt.SeedGraph
+		o.SeedProgram = p.opt.SeedPlan.Program
+		o.MaxSeedDistance = p.opt.MaxSeedDistance
+	}
 	return o
 }
 
@@ -121,6 +134,8 @@ func (p *Planner) plan(ctx context.Context, g *Graph, c *cluster.Cluster, th *th
 		Cost:          res.Cost,
 		SynthesisTime: res.Elapsed.Seconds(),
 		Passes:        res.Passes,
+		Seeded:        res.Seeded,
+		SeedDistance:  res.SeedDistance,
 	}, nil
 }
 
