@@ -167,11 +167,14 @@ type batchRequest struct {
 	Options  Options           `json:"options"`
 }
 
-// batchResponse mirrors serve.BatchResponse.
+// batchResponse mirrors serve.BatchResponse. Each entry carries its plan in
+// exactly one of Plan (JSON) or Bin (base64 binary, when the request
+// negotiated the compact encoding).
 type batchResponse struct {
 	Plans []struct {
 		Cache string          `json:"cache"`
 		Plan  json.RawMessage `json:"plan"`
+		Bin   []byte          `json:"bin"`
 	} `json:"plans"`
 }
 
@@ -335,7 +338,10 @@ func decodePlanStream(r io.Reader, binary bool, g *hap.Graph) (*hap.Plan, error)
 
 // SynthesizeBatch plans g against every cluster in one request — the server
 // builds the graph theory once for the whole batch. Plans come back in
-// cluster order, each bound to g. The batch wire format is JSON-only.
+// cluster order, each bound to g. The response envelope is JSON; by default
+// the per-result plan payloads are negotiated binary (base64 in the
+// envelope), with each result decoded by whichever field the server filled —
+// so the client works against servers from before the binary batch form.
 func (c *Client) SynthesizeBatch(ctx context.Context, g *hap.Graph, clusters []*hap.Cluster, opt Options) ([]*hap.Plan, error) {
 	if len(clusters) == 0 {
 		return nil, fmt.Errorf("client: no clusters to synthesize for")
@@ -350,7 +356,11 @@ func (c *Client) SynthesizeBatch(ctx context.Context, g *hap.Graph, clusters []*
 			return nil, err
 		}
 	}
-	resp, err := c.post(ctx, "/v1/synthesize/batch", batchRequest{Graph: gb, Clusters: raws, Options: opt}, "application/json")
+	accept := binaryPlanContentType + ", application/json"
+	if c.jsonPlans {
+		accept = "application/json"
+	}
+	resp, err := c.post(ctx, "/v1/synthesize/batch", batchRequest{Graph: gb, Clusters: raws, Options: opt}, accept)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +374,12 @@ func (c *Client) SynthesizeBatch(ctx context.Context, g *hap.Graph, clusters []*
 	}
 	plans := make([]*hap.Plan, len(br.Plans))
 	for i, bp := range br.Plans {
-		plan, err := hap.ReadProgram(bytes.NewReader(bp.Plan), g)
+		var plan *hap.Plan
+		if len(bp.Bin) > 0 {
+			plan, err = hap.ReadProgramBinary(bytes.NewReader(bp.Bin), g)
+		} else {
+			plan, err = hap.ReadProgram(bytes.NewReader(bp.Plan), g)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("client: decoding plan %d: %w", i, err)
 		}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -54,8 +55,11 @@ func (p retryPolicy) shouldRetry(attempt int) bool {
 }
 
 // backoff sleeps the jittered delay for the given attempt, returning early
-// with the context's error if ctx dies first.
-func (p retryPolicy) backoff(ctx context.Context, attempt int) error {
+// with the context's error if ctx dies first. floor is the server's
+// Retry-After demand (zero when absent): the jittered delay never sleeps
+// less than it, so a daemon shedding load under admission control is obeyed
+// rather than hammered on the jitter's low rolls.
+func (p retryPolicy) backoff(ctx context.Context, attempt int, floor time.Duration) error {
 	d := p.base << attempt
 	if d <= 0 || d > maxBackoff {
 		d = maxBackoff
@@ -63,6 +67,12 @@ func (p retryPolicy) backoff(ctx context.Context, attempt int) error {
 	// Full jitter: a herd of clients retrying a restarted daemon spreads
 	// over [0, d) instead of stampeding in sync.
 	d = time.Duration(rand.Int63n(int64(d) + 1))
+	if floor > maxBackoff {
+		floor = maxBackoff
+	}
+	if d < floor {
+		d = floor
+	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -91,6 +101,27 @@ func retryableTransportError(err error) bool {
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delay seconds or an HTTP-date — as a backoff floor. Absent, malformed, or
+// already-past values mean no floor.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // do sends the request built by build, retrying per the policy. build is
 // called once per attempt so each try gets a fresh body reader.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
@@ -102,15 +133,19 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 		resp, err := c.http.Do(req)
 		if err != nil {
 			if retryableTransportError(err) && c.retry.shouldRetry(attempt) {
-				if berr := c.retry.backoff(ctx, attempt); berr == nil {
+				if berr := c.retry.backoff(ctx, attempt, 0); berr == nil {
 					continue
 				}
 			}
 			return nil, err
 		}
 		if retryableStatus(resp.StatusCode) && c.retry.shouldRetry(attempt) {
+			// A 429/503 may carry the server's Retry-After demand — the
+			// admission gate's shed hint, possibly relayed through a fleet
+			// proxy. It floors the backoff for this attempt.
+			floor := parseRetryAfter(resp.Header.Get("Retry-After"))
 			resp.Body.Close()
-			if berr := c.retry.backoff(ctx, attempt); berr == nil {
+			if berr := c.retry.backoff(ctx, attempt, floor); berr == nil {
 				continue
 			}
 			// ctx died in backoff; the last response is gone, report the ctx.

@@ -113,7 +113,7 @@ func TestBackoffHonorsContext(t *testing.T) {
 	p := retryPolicy{attempts: 5, base: 10 * time.Second}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- p.backoff(ctx, 3) }()
+	go func() { done <- p.backoff(ctx, 3, 0) }()
 	time.Sleep(20 * time.Millisecond)
 	cancel()
 	select {
@@ -136,9 +136,80 @@ func TestBackoffIsCapped(t *testing.T) {
 	// with a short context.
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	p.backoff(ctx, 62)
+	p.backoff(ctx, 62, 0)
 	if time.Since(start) > 5*time.Second {
 		t.Error("overflowed backoff slept unbounded")
+	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 forms and the garbage cases.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		// approximate allows HTTP-date rounding slop.
+		approximate bool
+	}{
+		{"", 0, false},
+		{"5", 5 * time.Second, false},
+		{"0", 0, false},
+		{"-3", 0, false},
+		{"soon", 0, false},
+		{time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat), 10 * time.Second, true},
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0, false},
+	}
+	for _, tc := range cases {
+		got := parseRetryAfter(tc.in)
+		if tc.approximate {
+			if got < 8*time.Second || got > 11*time.Second {
+				t.Errorf("parseRetryAfter(%q) = %v, want ~%v", tc.in, got, tc.want)
+			}
+		} else if got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffHonorsRetryAfterFloor: the jittered delay never undercuts the
+// server's Retry-After. With a tiny base, jitter alone would return almost
+// immediately — the floor must hold the sleep.
+func TestBackoffHonorsRetryAfterFloor(t *testing.T) {
+	p := retryPolicy{attempts: 3, base: time.Microsecond}
+	start := time.Now()
+	if err := p.backoff(context.Background(), 0, 150*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 140*time.Millisecond {
+		t.Errorf("backoff slept %v, want >= the 150ms Retry-After floor", elapsed)
+	}
+}
+
+// TestRetryAfterHeaderReachesBackoff: a 429 carrying Retry-After: 1 makes
+// the retry wait at least a second even though the policy's base is a
+// millisecond — the header value flows from the response into the sleep.
+func TestRetryAfterHeaderReachesBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"code":"overloaded","message":"at capacity"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ok","protocol":"v2"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(3, time.Millisecond))
+	start := time.Now()
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz after shed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retry waited %v, want >= ~1s from Retry-After", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d attempts, want 2", calls.Load())
 	}
 }
 

@@ -75,6 +75,10 @@ func main() {
 	bytes := flag.Int64("cache-bytes", serve.DefaultMaxCacheBytes, "max total bytes of cached plans")
 	budget := flag.Duration("synth-budget", serve.DefaultSynthTimeBudget,
 		"wall-clock budget per request's synthesis, covering the whole optimization loop (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight-synth", 0,
+		"max concurrent local syntheses; excess cache misses are shed with 429 + Retry-After (0 = unlimited)")
+	shedRetryAfter := flag.Duration("shed-retry-after", serve.DefaultShedRetryAfter,
+		"Retry-After hint on admission-shed 429 responses")
 	workers := flag.Int("synth-workers", 0,
 		"beam-search worker goroutines per synthesis (0 = GOMAXPROCS); plans are byte-identical for any value")
 	cacheDir := flag.String("cache-dir", "",
@@ -155,19 +159,21 @@ func main() {
 	}
 
 	s := serve.New(serve.Config{
-		MaxCacheEntries: *entries,
-		MaxCacheBytes:   *bytes,
-		SynthTimeBudget: synthBudget,
-		SynthWorkers:    *workers,
-		CacheDir:        *cacheDir,
-		CacheTTL:        *cacheTTL,
-		DriftThreshold:  *driftThreshold,
-		TelemetryWindow: *telemetryWindow,
-		DisableSeeding:  *noSeed,
-		Fleet:           fl,
-		TraceRing:       ring,
-		TraceSlow:       *traceSlow,
-		Logger:          logger,
+		MaxCacheEntries:  *entries,
+		MaxCacheBytes:    *bytes,
+		SynthTimeBudget:  synthBudget,
+		SynthWorkers:     *workers,
+		MaxInflightSynth: *maxInflight,
+		ShedRetryAfter:   *shedRetryAfter,
+		CacheDir:         *cacheDir,
+		CacheTTL:         *cacheTTL,
+		DriftThreshold:   *driftThreshold,
+		TelemetryWindow:  *telemetryWindow,
+		DisableSeeding:   *noSeed,
+		Fleet:            fl,
+		TraceRing:        ring,
+		TraceSlow:        *traceSlow,
+		Logger:           logger,
 	})
 	defer s.Close()
 	if *cacheDir != "" {

@@ -1,0 +1,180 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubPlanHandler answers every synthesize request with a tiny JSON body
+// and the given cache verdict, after an optional artificial stall.
+func stubPlanHandler(stall time.Duration, cache string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		w.Header().Set("X-HAP-Cache", cache)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{}`))
+	})
+}
+
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := NewCorpus(2, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestOpenLoopChargesQueueing is the coordinated-omission test: a server
+// stalling 40ms per request, an open-loop driver at a rate far beyond the
+// server's capacity, and one outstanding slot. Measured from intended send
+// times, the queueing behind the stalled server must inflate the recorded
+// tail far beyond the per-request service time — a closed-loop run against
+// the same server (which cannot see queueing by construction) stays near
+// the service time, proving the open loop isn't just measuring the stall.
+func TestOpenLoopChargesQueueing(t *testing.T) {
+	const stall = 40 * time.Millisecond
+	srv := httptest.NewServer(stubPlanHandler(stall, "hit"))
+	defer srv.Close()
+	corpus := smallCorpus(t)
+
+	closed, err := Run(context.Background(), Options{
+		Target: srv.URL, Corpus: corpus, Mix: Mix{Single: 1}, Seed: 1,
+		Concurrency: 1, Requests: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := Run(context.Background(), Options{
+		Target: srv.URL, Corpus: corpus, Mix: Mix{Single: 1}, Seed: 1,
+		OpenLoop: true, Rate: 500, MaxOutstanding: 1, Requests: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closedP99 := closed.Classes["all"].P99Ms
+	openP99 := open.Classes["all"].P99Ms
+	if closedP99 < 35 || closedP99 > 200 {
+		t.Errorf("closed-loop p99 = %.1fms, want near the 40ms service time", closedP99)
+	}
+	// 20 requests intended within ~40ms but served at 25/s: the last ones
+	// queued ~0.7s. Anything under 300ms means latency was measured from
+	// the actual send — the coordinated-omission bug this test pins.
+	if openP99 < 300 {
+		t.Errorf("open-loop p99 = %.1fms; queueing behind the stalled server was not charged (coordinated omission)", openP99)
+	}
+	if open.Requests != 20 || closed.Requests != 10 {
+		t.Errorf("requests = %d open / %d closed, want 20/10", open.Requests, closed.Requests)
+	}
+}
+
+// TestDriverOutcomeClassification scripts one response per status family
+// and checks the report's taxonomy: warm, miss, shed (with Retry-After),
+// and an enveloped error code.
+func TestDriverOutcomeClassification(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) {
+		case 1:
+			w.Header().Set("X-HAP-Cache", "hit")
+			w.Write([]byte(`{}`))
+		case 2:
+			w.Header().Set("X-HAP-Cache", "miss")
+			w.Write([]byte(`{}`))
+		case 3:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"code": "overloaded"})
+		default:
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			json.NewEncoder(w).Encode(map[string]string{"code": "synthesis_failed", "message": "no plan"})
+		}
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Options{
+		Target: srv.URL, Corpus: smallCorpus(t), Mix: Mix{Single: 1}, Seed: 2,
+		Concurrency: 1, Requests: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PlanWarm != 1 || rep.PlanMiss != 1 {
+		t.Errorf("warm/miss = %d/%d, want 1/1", rep.PlanWarm, rep.PlanMiss)
+	}
+	if rep.HitRatio != 0.5 {
+		t.Errorf("hit ratio = %g, want 0.5", rep.HitRatio)
+	}
+	if rep.Shed != 1 {
+		t.Errorf("shed = %d, want 1", rep.Shed)
+	}
+	if rep.Errors != 1 || rep.ErrorsByCode["synthesis_failed"] != 1 {
+		t.Errorf("errors = %d (%v), want 1 synthesis_failed", rep.Errors, rep.ErrorsByCode)
+	}
+	if rep.Classes["warm"].Count != 1 || rep.Classes["miss"].Count != 1 || rep.Classes["shed"].Count != 1 {
+		t.Errorf("class counts = %+v", rep.Classes)
+	}
+}
+
+// TestCancelClassRecordsCanceled: a server slower than every cancel point
+// turns the Cancel class into canceled results, not errors.
+func TestCancelClassRecordsCanceled(t *testing.T) {
+	srv := httptest.NewServer(stubPlanHandler(200*time.Millisecond, "hit"))
+	defer srv.Close()
+	rep, err := Run(context.Background(), Options{
+		Target: srv.URL, Corpus: smallCorpus(t), Mix: Mix{Cancel: 1}, Seed: 3,
+		Concurrency: 2, Requests: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Canceled != 6 {
+		t.Errorf("canceled = %d of 6, errors %v", rep.Canceled, rep.ErrorsByCode)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (cancellation is not an error)", rep.Errors)
+	}
+}
+
+// TestConditionalClassRevalidates: the executor remembers ETags and turns
+// 304 answers into warm results.
+func TestConditionalClassRevalidates(t *testing.T) {
+	var revalidations atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", `"tag-1"`)
+		if r.Header.Get("If-None-Match") == `"tag-1"` {
+			revalidations.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("X-HAP-Cache", "hit")
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	corpus, err := NewCorpus(1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Options{
+		Target: srv.URL, Corpus: corpus, Mix: Mix{Conditional: 1}, Seed: 4,
+		Concurrency: 1, Requests: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request 1 has no tag yet (full response); 2..5 revalidate.
+	if revalidations.Load() != 4 {
+		t.Errorf("%d revalidations of 5 conditional requests, want 4", revalidations.Load())
+	}
+	if rep.PlanWarm != 5 || rep.Errors != 0 {
+		t.Errorf("warm = %d errors = %d, want 5 warm", rep.PlanWarm, rep.Errors)
+	}
+}

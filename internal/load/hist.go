@@ -1,0 +1,139 @@
+// Log-bucketed latency histogram. Buckets grow geometrically (2^(1/8) per
+// bucket, ~9% relative width), so one fixed 240-slot array spans 1µs cache
+// hits through minute-scale cold syntheses with bounded quantile error: a
+// reported quantile is the upper bound of the bucket holding the rank, at
+// most one bucket width above the true value. That error bound is what the
+// SLO gates lean on — a p99 the histogram reports under the threshold is
+// genuinely under threshold·1.091, and hist_test.go checks the bound against
+// a sorted-slice oracle.
+
+package load
+
+import (
+	"math"
+	"time"
+)
+
+const (
+	// histMinNs is the upper bound of the first bucket: latencies under 1µs
+	// are all "bucket zero" — far below anything an HTTP round trip produces.
+	histMinNs = 1_000
+	// histGrowth is the per-bucket geometric growth factor, 2^(1/8).
+	histGrowth = 1.0905077326652577
+	// histBuckets sized so the last regular bucket exceeds 15 minutes;
+	// anything slower lands in the overflow bucket and reports the observed
+	// maximum.
+	histBuckets = 240
+)
+
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+// Hist is a log-bucketed latency histogram. Not safe for concurrent use —
+// the drivers keep one per recorder behind a mutex (latency recording is
+// nanoseconds against millisecond request latencies).
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sumNs  int64
+	maxNs  int64
+	minNs  int64
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)]++
+	h.count++
+	h.sumNs += ns
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+	if h.count == 1 || ns < h.minNs {
+		h.minNs = ns
+	}
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.minNs < h.minNs {
+		h.minNs = o.minNs
+	}
+	h.count += o.count
+	h.sumNs += o.sumNs
+	if o.maxNs > h.maxNs {
+		h.maxNs = o.maxNs
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of the observed samples (exact — the sum
+// is tracked outside the buckets).
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs / int64(h.count))
+}
+
+// Max returns the largest observed sample, exactly.
+func (h *Hist) Max() time.Duration { return time.Duration(h.maxNs) }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket containing that rank, clamped to the exactly-tracked observed
+// min/max. The result is never below the true quantile and at most one
+// bucket width (×1.091) above it.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			ub := bucketBound(i)
+			if ub > h.maxNs {
+				ub = h.maxNs
+			}
+			if ub < h.minNs {
+				ub = h.minNs
+			}
+			return time.Duration(ub)
+		}
+	}
+	return time.Duration(h.maxNs) // unreachable: cum == count by the last bucket
+}
+
+// bucketIndex maps a latency in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < histMinNs {
+		return 0
+	}
+	i := int(math.Log(float64(ns)/histMinNs)*invLogGrowth) + 1
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBound returns bucket i's upper bound in nanoseconds.
+func bucketBound(i int) int64 {
+	return int64(histMinNs * math.Pow(histGrowth, float64(i)))
+}

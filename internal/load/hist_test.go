@@ -1,0 +1,117 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// oracleQuantile is the exact quantile from a sorted slice, using the same
+// ceil-rank convention the histogram implements.
+func oracleQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistQuantileAccuracy checks the documented error bound against a
+// sorted-slice oracle: the reported quantile is never below the true one and
+// at most one bucket width (×histGrowth) above it, across several latency
+// distributions.
+func TestHistQuantileAccuracy(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) time.Duration{
+		// Warm cache hits: tight sub-millisecond band.
+		"warm": func(r *rand.Rand) time.Duration {
+			return 200*time.Microsecond + time.Duration(r.Int63n(int64(800*time.Microsecond)))
+		},
+		// Log-uniform from 10µs to 10s: spans many buckets.
+		"loguniform": func(r *rand.Rand) time.Duration {
+			lo, hi := 4.0, 10.0 // log10(ns)
+			return time.Duration(math.Pow(10, lo+(hi-lo)*r.Float64()))
+		},
+		// Bimodal hit/miss: the shape a plan cache actually produces.
+		"bimodal": func(r *rand.Rand) time.Duration {
+			if r.Intn(10) < 9 {
+				return time.Duration(r.Int63n(int64(2 * time.Millisecond)))
+			}
+			return time.Second + time.Duration(r.Int63n(int64(4*time.Second)))
+		},
+	}
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			var h Hist
+			samples := make([]time.Duration, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				d := draw(r)
+				h.Observe(d)
+				samples = append(samples, d)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range quantiles {
+				got := h.Quantile(q)
+				want := oracleQuantile(samples, q)
+				if got < want {
+					t.Errorf("q%.3f = %v below the true quantile %v", q, got, want)
+				}
+				// One bucket of slack plus a little float headroom.
+				if limit := time.Duration(float64(want) * histGrowth * 1.001); got > limit {
+					t.Errorf("q%.3f = %v exceeds %v (true %v × bucket width)", q, got, limit, want)
+				}
+			}
+			if h.Max() != samples[len(samples)-1] {
+				t.Errorf("Max = %v, want exact %v", h.Max(), samples[len(samples)-1])
+			}
+		})
+	}
+}
+
+// TestHistEdgeCases: empty, single-sample, and merge behavior.
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(5 * time.Millisecond)
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := h.Quantile(q); got != 5*time.Millisecond {
+			t.Errorf("single-sample q%g = %v, want the sample (clamped to min/max)", q, got)
+		}
+	}
+	var a, b Hist
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != time.Second {
+		t.Errorf("merge: count %d max %v", a.Count(), a.Max())
+	}
+	ms := float64(time.Millisecond)
+	medianCap := time.Duration(ms * histGrowth * 1.001)
+	if got := a.Quantile(0.5); got < time.Millisecond || got > medianCap {
+		t.Errorf("merged median %v, want ~1ms", got)
+	}
+}
+
+// TestHistBucketMonotonic: bucket indexing is monotone and bounds are
+// consistent (a value's bucket upper bound is never below the value).
+func TestHistBucketMonotonic(t *testing.T) {
+	prev := -1
+	for ns := int64(1); ns < int64(20*time.Minute); ns = ns*3/2 + 1 {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", ns, i, prev)
+		}
+		prev = i
+		if i < histBuckets-1 && bucketBound(i) < ns {
+			t.Fatalf("bucketBound(%d) = %d below member value %d", i, bucketBound(i), ns)
+		}
+	}
+}

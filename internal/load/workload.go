@@ -1,0 +1,305 @@
+// Package load is the hap-serve load-generation harness: a deterministic
+// workload generator, closed- and open-loop drivers, a log-bucketed latency
+// histogram, and SLO assertions over the resulting report. cmd/hap-loadgen
+// is the CLI; CI runs it against a single daemon and a 3-node fleet with
+// the gates committed in BENCH_serve.json.
+//
+// The workload is a seeded corpus of (graph, cluster) pairs whose request
+// popularity is zipf-distributed — production plan traffic is not i.i.d.:
+// a handful of (model, cluster) pairs dominate, with a long cold tail —
+// plus a request mix covering the daemon's real surface: single and batch
+// synthesis, JSON and binary content negotiation, conditional fetch with
+// If-None-Match, and requests cancelled mid-flight. Everything is
+// deterministic under a seed, so a latency regression reproduces.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hap"
+)
+
+// Class is one request class of the workload mix.
+type Class uint8
+
+const (
+	// Single is POST /v1/synthesize with a JSON-plan Accept.
+	Single Class = iota
+	// SingleBinary negotiates the compact binary plan encoding.
+	SingleBinary
+	// Batch is POST /v1/synthesize/batch (one graph × every corpus cluster).
+	Batch
+	// BatchBinary is the batch endpoint with binary content negotiation.
+	BatchBinary
+	// Conditional revalidates with If-None-Match using the last seen ETag;
+	// a warm server answers 304 with no body.
+	Conditional
+	// Cancel abandons the request mid-flight (context cancelled a few
+	// milliseconds in), exercising the daemon's disconnect handling.
+	Cancel
+
+	numClasses
+)
+
+// String names the class; the names double as report class keys.
+func (c Class) String() string {
+	switch c {
+	case Single:
+		return "single"
+	case SingleBinary:
+		return "single_bin"
+	case Batch:
+		return "batch"
+	case BatchBinary:
+		return "batch_bin"
+	case Conditional:
+		return "cond"
+	case Cancel:
+		return "cancel"
+	}
+	return "unknown"
+}
+
+// Mix weighs the request classes. Zero-valued fields get no traffic; a
+// zero-valued Mix means DefaultMix.
+type Mix struct {
+	Single       int
+	SingleBinary int
+	Batch        int
+	BatchBinary  int
+	Conditional  int
+	Cancel       int
+}
+
+// DefaultMix is a plausible production blend: mostly single fetches split
+// across encodings, a batch slice in both forms, a conditional-revalidation
+// slice, and a trickle of abandoned requests.
+func DefaultMix() Mix {
+	return Mix{Single: 30, SingleBinary: 25, Batch: 10, BatchBinary: 10, Conditional: 20, Cancel: 5}
+}
+
+func (m Mix) weights() [numClasses]int {
+	return [numClasses]int{m.Single, m.SingleBinary, m.Batch, m.BatchBinary, m.Conditional, m.Cancel}
+}
+
+func (m Mix) total() int {
+	t := 0
+	for _, w := range m.weights() {
+		t += w
+	}
+	return t
+}
+
+// Spec is one generated request: its class and its corpus coordinates.
+type Spec struct {
+	Class Class
+	// Item indexes the corpus (graph, cluster) pair for the single-style
+	// classes; Graph the corpus graph for the batch classes (derived from
+	// the same popularity draw, so batch traffic shares the zipf shape).
+	Item  int
+	Graph int
+	// CancelAfter is the mid-flight abandonment point for Cancel requests.
+	CancelAfter time.Duration
+}
+
+// Generator draws a deterministic request sequence: same corpus, mix, and
+// seed → the same Specs in the same order. Not safe for concurrent use —
+// each closed-loop worker owns one (distinct seeds), and the open-loop
+// dispatcher draws before handing off to a firing goroutine.
+type Generator struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	w     [numClasses]int
+	total int
+	c     *Corpus
+}
+
+// NewGenerator returns a generator over the corpus with the given mix.
+// zipfS is the zipf skew (must be > 1; larger = hotter head). A zero-total
+// mix falls back to DefaultMix.
+func NewGenerator(c *Corpus, mix Mix, zipfS float64, seed int64) *Generator {
+	if mix.total() == 0 {
+		mix = DefaultMix()
+	}
+	if zipfS <= 1 {
+		zipfS = 1.2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, zipfS, 1, uint64(c.Items()-1)),
+		w:     mix.weights(),
+		total: mix.total(),
+		c:     c,
+	}
+}
+
+// Next draws the next request.
+func (g *Generator) Next() Spec {
+	item := int(g.zipf.Uint64())
+	s := Spec{Item: item, Graph: item / g.c.NumClusters}
+	pick := g.rng.Intn(g.total)
+	for c, w := range g.w {
+		if pick < w {
+			s.Class = Class(c)
+			break
+		}
+		pick -= w
+	}
+	if s.Class == Cancel {
+		// Abandon 0.5–4.5ms in: late enough to usually reach the daemon,
+		// early enough to catch most syntheses mid-flight.
+		s.CancelAfter = 500*time.Microsecond + time.Duration(g.rng.Int63n(int64(4*time.Millisecond)))
+	}
+	return s
+}
+
+// Corpus is the seeded request universe: Graphs random small training
+// graphs × a palette of cluster shapes, with every wire body pre-marshalled
+// so the drivers spend their cycles on HTTP, not JSON.
+type Corpus struct {
+	NumGraphs   int
+	NumClusters int
+	singles     [][]byte // graph-major: item = graph*NumClusters + cluster
+	batches     [][]byte // one per graph, spanning all clusters
+}
+
+// clusterPalette is the fixed set of cluster shapes the corpus draws from:
+// heterogeneous across machines, homogeneous, a machine-level mix, and a
+// two-type per-GPU pair — the same families the differential harness plans
+// on.
+func clusterPalette() []*hap.Cluster {
+	return []*hap.Cluster{
+		hap.PerGPU(hap.MachineSpec{Type: hap.V100, GPUs: 1}, hap.MachineSpec{Type: hap.P100, GPUs: 1}),
+		hap.PerGPU(hap.MachineSpec{Type: hap.P100, GPUs: 2}),
+		hap.Heterogeneous(hap.MachineSpec{Type: hap.V100, GPUs: 2}, hap.MachineSpec{Type: hap.P100, GPUs: 2}),
+		hap.PerGPU(hap.MachineSpec{Type: hap.A100, GPUs: 1}, hap.MachineSpec{Type: hap.P100, GPUs: 1}),
+	}
+}
+
+// MaxClusters is the size of the corpus cluster palette.
+const MaxClusters = 4
+
+// NewCorpus builds a deterministic corpus of graphs × clusters request
+// bodies. graphs must be positive; clusters in [1, MaxClusters]. The same
+// (graphs, clusters, seed) triple always yields byte-identical bodies, so
+// two loadgen runs against the same daemon share cache keys.
+func NewCorpus(graphs, clusters int, seed int64) (*Corpus, error) {
+	if graphs <= 0 {
+		return nil, fmt.Errorf("load: corpus needs at least one graph")
+	}
+	if clusters <= 0 || clusters > MaxClusters {
+		return nil, fmt.Errorf("load: corpus clusters must be in [1, %d], got %d", MaxClusters, clusters)
+	}
+	palette := clusterPalette()[:clusters]
+	clusterJSON := make([]json.RawMessage, clusters)
+	for i, cl := range palette {
+		var b bytes.Buffer
+		if err := cl.Encode(&b); err != nil {
+			return nil, fmt.Errorf("load: encoding cluster %d: %w", i, err)
+		}
+		clusterJSON[i] = b.Bytes()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{NumGraphs: graphs, NumClusters: clusters}
+	for gi := 0; gi < graphs; gi++ {
+		g, err := randomTrainingGraph(rng)
+		if err != nil {
+			return nil, fmt.Errorf("load: building graph %d: %w", gi, err)
+		}
+		var gb bytes.Buffer
+		if err := g.Encode(&gb); err != nil {
+			return nil, fmt.Errorf("load: encoding graph %d: %w", gi, err)
+		}
+		graphJSON := json.RawMessage(gb.Bytes())
+		for _, cj := range clusterJSON {
+			body, err := json.Marshal(struct {
+				Graph   json.RawMessage `json:"graph"`
+				Cluster json.RawMessage `json:"cluster"`
+			}{graphJSON, cj})
+			if err != nil {
+				return nil, err
+			}
+			c.singles = append(c.singles, body)
+		}
+		batch, err := json.Marshal(struct {
+			Graph    json.RawMessage   `json:"graph"`
+			Clusters []json.RawMessage `json:"clusters"`
+		}{graphJSON, clusterJSON})
+		if err != nil {
+			return nil, err
+		}
+		c.batches = append(c.batches, batch)
+	}
+	return c, nil
+}
+
+// Items returns the number of (graph, cluster) pairs.
+func (c *Corpus) Items() int { return len(c.singles) }
+
+// SingleBody returns item i's pre-marshalled /v1/synthesize body.
+func (c *Corpus) SingleBody(i int) []byte { return c.singles[i] }
+
+// BatchBody returns graph g's pre-marshalled /v1/synthesize/batch body.
+func (c *Corpus) BatchBody(g int) []byte { return c.batches[g] }
+
+// randomTrainingGraph builds one random small MLP-family training graph —
+// the same family the differential harness fuzzes: 1–3 matmul layers over a
+// random batch and widths, random activations, element-wise parameter
+// interactions, an occasional two-branch fan-out, and a full backward pass.
+func randomTrainingGraph(rng *rand.Rand) (*hap.Graph, error) {
+	g := hap.NewGraph()
+	b := []int{16, 32, 64}[rng.Intn(3)]
+	f := 4 + rng.Intn(29)
+	cur := g.AddPlaceholder("x", 0, b, f)
+	layers := 1 + rng.Intn(3)
+	for l := 0; l < layers; l++ {
+		out := 4 + rng.Intn(29)
+		if rng.Intn(4) == 0 {
+			w1 := g.AddParameter(fmt.Sprintf("w%da", l), f, out)
+			w2 := g.AddParameter(fmt.Sprintf("w%db", l), f, out)
+			h1 := randomActivation(g, rng, g.AddOp(hap.MatMul, cur, w1))
+			h2 := randomActivation(g, rng, g.AddOp(hap.MatMul, cur, w2))
+			cur = g.AddOp(hap.Add, h1, h2)
+		} else {
+			w := g.AddParameter(fmt.Sprintf("w%d", l), f, out)
+			cur = randomActivation(g, rng, g.AddOp(hap.MatMul, cur, w))
+			if rng.Intn(3) == 0 {
+				p := g.AddParameter(fmt.Sprintf("p%d", l), b, out)
+				if rng.Intn(2) == 0 {
+					cur = g.AddOp(hap.Add, cur, p)
+				} else {
+					cur = g.AddOp(hap.Mul, cur, p)
+				}
+			}
+		}
+		f = out
+		if rng.Intn(4) == 0 {
+			cur = g.AddScale(cur, 0.25+rng.Float64())
+		}
+	}
+	g.SetLoss(g.AddOp(hap.Sum, g.AddScale(cur, 1/float64(b))))
+	if err := hap.Backward(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func randomActivation(g *hap.Graph, rng *rand.Rand, id hap.NodeID) hap.NodeID {
+	switch rng.Intn(5) {
+	case 0:
+		return g.AddOp(hap.ReLU, id)
+	case 1:
+		return g.AddOp(hap.Sigmoid, id)
+	case 2:
+		return g.AddOp(hap.GeLU, id)
+	case 3:
+		return g.AddOp(hap.Softmax, id)
+	default:
+		return id
+	}
+}

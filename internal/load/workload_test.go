@@ -1,0 +1,132 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCorpusDeterministic: the same (graphs, clusters, seed) triple yields
+// byte-identical request bodies — the property that makes two loadgen runs
+// share cache keys with each other and with a warmup pass.
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := NewCorpus(4, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCorpus(4, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Items() != 8 || b.Items() != 8 {
+		t.Fatalf("Items = %d/%d, want 8 (4 graphs × 2 clusters)", a.Items(), b.Items())
+	}
+	for i := 0; i < a.Items(); i++ {
+		if !bytes.Equal(a.SingleBody(i), b.SingleBody(i)) {
+			t.Fatalf("single body %d differs between same-seed corpora", i)
+		}
+	}
+	for g := 0; g < 4; g++ {
+		if !bytes.Equal(a.BatchBody(g), b.BatchBody(g)) {
+			t.Fatalf("batch body %d differs between same-seed corpora", g)
+		}
+	}
+	c, err := NewCorpus(4, 2, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.SingleBody(0), c.SingleBody(0)) {
+		t.Error("different seeds produced identical graphs")
+	}
+	// Bodies must be valid request JSON with both fields.
+	var req struct {
+		Graph   json.RawMessage `json:"graph"`
+		Cluster json.RawMessage `json:"cluster"`
+	}
+	if err := json.Unmarshal(a.SingleBody(0), &req); err != nil || len(req.Graph) == 0 || len(req.Cluster) == 0 {
+		t.Errorf("single body malformed: %v", err)
+	}
+}
+
+// TestCorpusValidatesArgs: bad shapes are rejected up front.
+func TestCorpusValidatesArgs(t *testing.T) {
+	if _, err := NewCorpus(0, 1, 1); err == nil {
+		t.Error("zero graphs accepted")
+	}
+	if _, err := NewCorpus(1, 0, 1); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	if _, err := NewCorpus(1, MaxClusters+1, 1); err == nil {
+		t.Error("over-palette clusters accepted")
+	}
+}
+
+// TestGeneratorDeterministicAndZipf: same seed → same Spec sequence;
+// popularity is head-heavy (zipf) rather than uniform; the class mix
+// roughly follows its weights.
+func TestGeneratorDeterministicAndZipf(t *testing.T) {
+	corpus, err := NewCorpus(16, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := NewGenerator(corpus, Mix{}, 1.3, 99)
+	g2 := NewGenerator(corpus, Mix{}, 1.3, 99)
+	const n = 20000
+	counts := make([]int, corpus.Items())
+	classes := map[Class]int{}
+	for i := 0; i < n; i++ {
+		s1, s2 := g1.Next(), g2.Next()
+		if s1 != s2 {
+			t.Fatalf("draw %d: same-seed generators diverge: %+v vs %+v", i, s1, s2)
+		}
+		if s1.Item < 0 || s1.Item >= corpus.Items() {
+			t.Fatalf("item %d out of corpus range", s1.Item)
+		}
+		if s1.Graph != s1.Item/corpus.NumClusters {
+			t.Fatalf("graph %d inconsistent with item %d", s1.Graph, s1.Item)
+		}
+		if s1.Class == Cancel && s1.CancelAfter <= 0 {
+			t.Fatal("cancel spec without a cancel point")
+		}
+		counts[s1.Item]++
+		classes[s1.Class]++
+	}
+	// Zipf head: the most popular item dominates a uniform share by far.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if uniform := n / corpus.Items(); max < 4*uniform {
+		t.Errorf("hottest item drew %d of %d; want ≥ 4× the uniform share %d (zipf head)", max, n, uniform)
+	}
+	// Every class with default-mix weight saw traffic, in rough proportion.
+	mix := DefaultMix()
+	total := mix.total()
+	for class, weight := range map[Class]int{
+		Single: mix.Single, SingleBinary: mix.SingleBinary, Batch: mix.Batch,
+		BatchBinary: mix.BatchBinary, Conditional: mix.Conditional, Cancel: mix.Cancel,
+	} {
+		want := n * weight / total
+		got := classes[class]
+		if got < want/2 || got > want*2 {
+			t.Errorf("class %v drew %d, want ~%d", class, got, want)
+		}
+	}
+}
+
+// TestGeneratorSingleItemCorpus: a 1-item corpus must not panic the zipf
+// sampler (imax must stay >= 1).
+func TestGeneratorSingleItemCorpus(t *testing.T) {
+	corpus, err := NewCorpus(1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(corpus, Mix{Single: 1}, 1.2, 5)
+	for i := 0; i < 100; i++ {
+		if s := g.Next(); s.Item != 0 || s.Graph != 0 {
+			t.Fatalf("1-item corpus drew item %d graph %d", s.Item, s.Graph)
+		}
+	}
+}

@@ -172,7 +172,11 @@ func (s *Server) proxyPlanRequest(w http.ResponseWriter, r *http.Request, req Re
 		s.fleetProxied.Add(1)
 		rt.merge(resp.Header.Get(obs.SpansHeader))
 		rt.setCache("proxy")
-		for _, h := range []string{"Content-Type", "X-HAP-Cache", "X-HAP-Passes", "ETag", PlanVersionHeader} {
+		// Retry-After rides along so an owner's admission shed reaches the
+		// client intact: the proxying node relays the 429 as authoritative
+		// (the owner is up and answering; its refusal is load, not failure)
+		// and the client backs off exactly as if it had hit the owner.
+		for _, h := range []string{"Content-Type", "X-HAP-Cache", "X-HAP-Passes", "ETag", PlanVersionHeader, "Retry-After"} {
 			if v := resp.Header.Get(h); v != "" {
 				w.Header().Set(h, v)
 			}

@@ -144,6 +144,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("hap_serve_synth_incremental_total", "Syntheses seeded from a similar cached plan (incremental synthesis).", st.SynthIncremental)
 	gauge("hap_serve_synth_seed_distance", "Normalized donor distance of the most recent seeded synthesis.", st.SynthSeedDistance)
 	counter("hap_serve_flight_shared_total", "Cache misses that joined an in-flight synthesis.", st.FlightShared)
+	counter("hap_serve_admission_shed_total", "Cache misses shed with 429 by the synthesis admission gate.", st.AdmissionShed)
+	gauge("hap_serve_inflight_synth", "Local syntheses currently executing.", float64(st.InflightSynth))
+	gauge("hap_serve_max_inflight_synth", "Configured concurrent-synthesis cap (0 = unlimited).", float64(st.MaxInflightSynth))
 	counter("hap_serve_errors_total", "Requests answered with an error status.", st.Errors)
 	counter("hap_serve_cache_evictions_total", "Plans evicted by the LRU caps or the TTL sweep.", st.CacheEvictions)
 	gauge("hap_serve_cache_entries", "Plans currently cached.", float64(st.CacheEntries))

@@ -38,8 +38,10 @@
 // Accept: application/x-hap-plan receives the compact binary plan encoding
 // (hap.WriteProgramBinary) instead of JSON. The batch endpoint plans one
 // graph against many clusters, building the graph theory once (request
-// coalescing); its response is always JSON. The legacy endpoint keeps its
-// original plain-text errors and JSON-only responses.
+// coalescing); its response envelope is always JSON, with per-result plan
+// payloads in the negotiated encoding (base64 binary under Accept:
+// application/x-hap-plan). The legacy endpoint keeps its original
+// plain-text errors and JSON-only responses.
 package serve
 
 import (
@@ -101,6 +103,10 @@ const (
 	// expansion limits bound memory, not time. An expired budget serves the
 	// best plan the loop found, or fails the request when none completed.
 	DefaultSynthTimeBudget = 60 * time.Second
+	// DefaultShedRetryAfter is the Retry-After hint on admission-shed 429
+	// responses: long enough for a synthesis slot to plausibly free, short
+	// enough that a warm retry is cheap.
+	DefaultShedRetryAfter = time.Second
 )
 
 // Config tunes a Server.
@@ -140,6 +146,19 @@ type Config struct {
 	// estimate with no sample newer than this reverts to the spec value
 	// (0 = the telemetry package default, 5 minutes).
 	TelemetryWindow time.Duration
+	// MaxInflightSynth bounds the number of concurrently executing local
+	// syntheses (0 = unlimited). When every slot is busy, cache misses that
+	// would start a new synthesis are shed with 429 Too Many Requests and a
+	// Retry-After header instead of queueing — cache hits are always served
+	// (the store lookup precedes the gate), and misses that can join an
+	// already-running flight for the same key still join it. The gate bounds
+	// the daemon's memory and CPU under a miss storm: plan search is the
+	// expensive step, and N unbounded concurrent searches is the only way
+	// this process OOMs.
+	MaxInflightSynth int
+	// ShedRetryAfter is the Retry-After hint on shed responses
+	// (0 = DefaultShedRetryAfter).
+	ShedRetryAfter time.Duration
 	// DisableSeeding turns off incremental synthesis (the -no-seed flag):
 	// cache misses always synthesize cold instead of seeding their search
 	// from the nearest similar cached plan, and drift replans stop reusing
@@ -196,8 +215,14 @@ type BatchResponse struct {
 type BatchPlanResult struct {
 	// Cache is "hit" or "miss", mirroring the X-HAP-Cache header.
 	Cache string `json:"cache"`
-	// Plan is the plan JSON (hap.Plan.WriteProgram form).
-	Plan json.RawMessage `json:"plan"`
+	// Plan is the plan JSON (hap.Plan.WriteProgram form). Empty when the
+	// request negotiated the binary encoding — Bin carries the plan instead.
+	Plan json.RawMessage `json:"plan,omitempty"`
+	// Bin is the compact binary plan payload (hap.Plan.WriteProgramBinary,
+	// base64 inside the JSON envelope), populated instead of Plan when the
+	// request sent Accept: application/x-hap-plan. The envelope itself stays
+	// JSON either way — only the per-result payload encoding negotiates.
+	Bin []byte `json:"bin,omitempty"`
 	// Passes mirrors the X-HAP-Passes header ("" = pipeline disabled).
 	Passes string `json:"passes,omitempty"`
 	// Version and ETag mirror the X-HAP-Plan-Version and ETag headers of the
@@ -221,6 +246,7 @@ const (
 	CodeSynthesisFailed  = "synthesis_failed"
 	CodeCanceled         = "canceled"
 	CodeNotFound         = "not_found"
+	CodeOverloaded       = "overloaded"
 )
 
 // RequestOptions mirrors hap.Options on the wire.
@@ -251,13 +277,19 @@ type Stats struct {
 	// search's normalized donor distance.
 	SynthIncremental  uint64  `json:"synth_incremental"`
 	SynthSeedDistance float64 `json:"synth_seed_distance"`
-	FlightShared      uint64  `json:"flight_shared"`   // misses that joined an in-flight synthesis
-	Errors            uint64  `json:"errors"`          // requests answered with an error status
-	CacheEntries      int     `json:"cache_entries"`   // plans currently cached
-	CacheBytes        int64   `json:"cache_bytes"`     // bytes currently cached
-	CacheEvictions    uint64  `json:"cache_evictions"` // plans evicted by the LRU caps or the TTL sweep
-	CacheRestored     int     `json:"cache_restored"`  // plans reloaded from CacheDir on boot
-	UptimeSeconds     float64 `json:"uptime_seconds"`
+	FlightShared      uint64  `json:"flight_shared"` // misses that joined an in-flight synthesis
+	// AdmissionShed counts misses shed with 429 by the synthesis admission
+	// gate; InflightSynth is the number of currently executing local
+	// syntheses; MaxInflightSynth echoes the configured cap (0 = unlimited).
+	AdmissionShed    uint64  `json:"admission_shed"`
+	InflightSynth    int64   `json:"inflight_synth"`
+	MaxInflightSynth int     `json:"max_inflight_synth"`
+	Errors           uint64  `json:"errors"`          // requests answered with an error status
+	CacheEntries     int     `json:"cache_entries"`   // plans currently cached
+	CacheBytes       int64   `json:"cache_bytes"`     // bytes currently cached
+	CacheEvictions   uint64  `json:"cache_evictions"` // plans evicted by the LRU caps or the TTL sweep
+	CacheRestored    int     `json:"cache_restored"`  // plans reloaded from CacheDir on boot
+	UptimeSeconds    float64 `json:"uptime_seconds"`
 	// RequestsByEndpoint breaks Requests down by wire endpoint
 	// (legacy, v1, v1_batch).
 	RequestsByEndpoint map[string]uint64 `json:"requests_by_endpoint"`
@@ -298,6 +330,14 @@ type Server struct {
 	syntheses    atomic.Uint64
 	flightShared atomic.Uint64
 	errors       atomic.Uint64
+
+	// synthSem is the admission gate: a slot per permitted concurrent local
+	// synthesis, nil when unlimited. admissionShed counts misses turned away
+	// at the gate; inflightSynth tracks currently executing syntheses (the
+	// /metrics gauge) whether or not a cap is configured.
+	synthSem      chan struct{}
+	admissionShed atomic.Uint64
+	inflightSynth atomic.Int64
 
 	// synthIncremental counts seeded syntheses; seedDistBits holds the last
 	// seeded search's donor distance as float64 bits (atomic gauge).
@@ -359,6 +399,9 @@ func New(cfg Config) *Server {
 	if cfg.SynthTimeBudget == 0 {
 		cfg.SynthTimeBudget = DefaultSynthTimeBudget
 	}
+	if cfg.ShedRetryAfter <= 0 {
+		cfg.ShedRetryAfter = DefaultShedRetryAfter
+	}
 	if cfg.DriftThreshold == 0 {
 		cfg.DriftThreshold = DefaultDriftThreshold
 	}
@@ -407,6 +450,9 @@ func New(cfg Config) *Server {
 			replan:   map[string]bool{},
 		},
 		sim: similarityIndex{entries: map[string]simEntry{}},
+	}
+	if cfg.MaxInflightSynth > 0 {
+		s.synthSem = make(chan struct{}, cfg.MaxInflightSynth)
 	}
 	// Evictions — LRU, TTL sweep, or a rejected oversized insert — drop the
 	// key's replan source and similarity entries, so the side registries stay
@@ -492,6 +538,9 @@ func (s *Server) Stats() Stats {
 		SynthIncremental:  s.synthIncremental.Load(),
 		SynthSeedDistance: math.Float64frombits(s.seedDistBits.Load()),
 		FlightShared:      s.flightShared.Load(),
+		AdmissionShed:     s.admissionShed.Load(),
+		InflightSynth:     s.inflightSynth.Load(),
+		MaxInflightSynth:  s.cfg.MaxInflightSynth,
 		Errors:            s.errors.Load(),
 		CacheEntries:      ss.Entries,
 		CacheBytes:        ss.Bytes,
@@ -580,10 +629,48 @@ func (s *Server) fail(w http.ResponseWriter, v1 bool, status int, code string, f
 	json.NewEncoder(w).Encode(ErrorEnvelope{Code: code, Message: msg})
 }
 
+// errOverloaded is the admission gate's refusal: every synthesis slot is
+// busy and this miss would have started a new search.
+var errOverloaded = errors.New("synthesis capacity exhausted")
+
+// acquireSynth claims a synthesis slot without blocking. On success the
+// returned release must be called when the synthesis finishes; on refusal
+// it returns errOverloaded and counts the shed. With no cap configured the
+// gate always admits (and still tracks the inflight gauge).
+func (s *Server) acquireSynth() (release func(), err error) {
+	if s.synthSem != nil {
+		select {
+		case s.synthSem <- struct{}{}:
+		default:
+			s.admissionShed.Add(1)
+			return nil, errOverloaded
+		}
+	}
+	s.inflightSynth.Add(1)
+	return func() {
+		s.inflightSynth.Add(-1)
+		if s.synthSem != nil {
+			<-s.synthSem
+		}
+	}, nil
+}
+
+// shedHeaders stamps the Retry-After hint on a response about to be shed.
+func (s *Server) shedHeaders(w http.ResponseWriter) {
+	secs := int(math.Ceil(s.cfg.ShedRetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 // synthErrorCode maps a planner error to (HTTP status, envelope code). A
 // cancelled request context means the client went away: 499 in the nginx
 // convention, for the log's benefit — nobody reads the body.
 func synthErrorCode(err error) (int, string) {
+	if errors.Is(err, errOverloaded) {
+		return http.StatusTooManyRequests, CodeOverloaded
+	}
 	if errors.Is(err, context.Canceled) {
 		return 499, CodeCanceled
 	}
@@ -731,6 +818,17 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool, 
 		if v, ok := s.store.Get(key); ok {
 			return v, nil
 		}
+		// Admission: the gate sits inside the flight, after the re-check, so
+		// a miss is shed only when it would genuinely start a new synthesis —
+		// joiners of an already-executing flight never reach here, and hits
+		// were served before the flight. The executing caller's refusal
+		// propagates to every waiter that joined this flight: they were all
+		// waiting on a synthesis the daemon cannot afford right now.
+		release, admErr := s.acquireSynth()
+		if admErr != nil {
+			return CachedPlan{}, admErr
+		}
+		defer release()
 		s.syntheses.Add(1)
 		ho := s.hapOptions(req.Options)
 		// Incremental synthesis: find the nearest cached plan by segment
@@ -789,6 +887,11 @@ func (s *Server) synthesizeOne(w http.ResponseWriter, r *http.Request, v1 bool, 
 	}
 	if err != nil {
 		status, code := synthErrorCode(err)
+		if code == CodeOverloaded {
+			s.shedHeaders(w)
+			s.fail(w, v1, status, code, "overloaded: %v", err)
+			return
+		}
 		s.fail(w, v1, status, code, "synthesis failed: %v", err)
 		return
 	}
@@ -819,7 +922,9 @@ func (s *Server) fleetRole(key string) string {
 // clusters. Clusters already cached are served from cache; the remaining
 // ones are planned in a single PlanBatch call that builds the graph theory
 // once — the request-coalescing path the batch endpoint exists for. The
-// response is always JSON.
+// response envelope is always JSON; the per-result plan payloads honor
+// binary content negotiation (Accept: application/x-hap-plan → base64
+// binary in the envelope's "bin" field instead of "plan").
 //
 // Batch requests are not fleet-routed: coalescing happens within the
 // request, and splitting a batch across owners would trade the theory-once
@@ -865,6 +970,7 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 	ds.SetAttrInt("clusters", int64(len(clusters)))
 	ds.End()
 
+	binary := wantsBinaryPlan(r)
 	results := make([]BatchPlanResult, len(clusters))
 	// Collect the clusters that need a synthesis, coalescing duplicates
 	// (the same cluster listed twice is one search, answered twice).
@@ -874,7 +980,7 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 	for i, key := range keys {
 		if v, ok := s.store.Get(key); ok {
 			s.hits.Add(1)
-			results[i] = BatchPlanResult{Cache: "hit", Plan: v.Plan, Passes: v.Passes, Version: v.Version, ETag: v.ETag}
+			results[i] = batchResult(v, "hit", binary)
 			continue
 		}
 		s.misses.Add(1)
@@ -892,6 +998,18 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 		rt.setCache("miss")
 	}
 	if len(missing) > 0 {
+		// One admission slot covers the whole batch: PlanBatch is a single
+		// search sharing one graph theory, not len(missing) independent ones.
+		// An all-hit batch never reaches the gate; a shed batch answers 429
+		// for the request as a whole (partial responses would complicate the
+		// envelope for a client that must retry anyway).
+		release, admErr := s.acquireSynth()
+		if admErr != nil {
+			s.shedHeaders(w)
+			s.fail(w, true, http.StatusTooManyRequests, CodeOverloaded, "overloaded: %v", admErr)
+			return
+		}
+		defer release()
 		toPlan := make([]*cluster.Cluster, len(missingOrder))
 		for j, key := range missingOrder {
 			toPlan[j] = clusters[missing[key]]
@@ -931,16 +1049,27 @@ func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for i, key := range keys {
-			if v, ok := fresh[key]; ok && results[i].Plan == nil {
-				results[i].Plan = v.Plan
-				results[i].Passes = v.Passes
-				results[i].Version = v.Version
-				results[i].ETag = v.ETag
+			if v, ok := fresh[key]; ok && len(results[i].Plan) == 0 && len(results[i].Bin) == 0 {
+				results[i] = batchResult(v, results[i].Cache, binary)
 			}
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(BatchResponse{Plans: results})
+}
+
+// batchResult renders one cached plan as a batch envelope entry in the
+// negotiated payload encoding: exactly one of Plan or Bin is set. A cached
+// entry with no binary form (possible only for entries replicated from a
+// pre-binary peer) falls back to JSON rather than answering empty.
+func batchResult(v CachedPlan, cache string, binary bool) BatchPlanResult {
+	res := BatchPlanResult{Cache: cache, Passes: v.Passes, Version: v.Version, ETag: v.ETag}
+	if binary && len(v.Bin) > 0 {
+		res.Bin = v.Bin
+	} else {
+		res.Plan = v.Plan
+	}
+	return res
 }
 
 // encodePlan renders a synthesized plan into its cached wire forms: the

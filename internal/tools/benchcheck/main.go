@@ -8,10 +8,21 @@
 // run (e.g. incremental VGG19 synthesis under 10% of cold). Ratios between
 // same-run measurements cancel out the hardware, so they are safe to gate.
 //
+// It also gates load-test reports: with -serve-baseline, benchcheck reads a
+// committed BENCH_serve.json of named profiles (each an SLO string in the
+// hap-loadgen grammar), picks one with -profile, and re-evaluates it against
+// the JSON report a loadgen run wrote with -report. The gate text lives in
+// the committed baseline, so tightening an SLO is a reviewed diff, and the
+// committed gates only use hardware-tolerant assertions (errors, hit ratio,
+// shed counts, generous tails) — tight latency numbers stay informational.
+//
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkSynthesizeVGG19 -benchmem -benchtime=1x ./internal/synth > bench.txt
 //	go run ./internal/tools/benchcheck -baseline BENCH_synth.json -bench bench.txt
+//
+//	hap-loadgen -target http://127.0.0.1:8080 -warmup -report report.json
+//	go run ./internal/tools/benchcheck -serve-baseline BENCH_serve.json -profile single -report report.json
 package main
 
 import (
@@ -23,6 +34,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"hap/internal/load"
 )
 
 // Baseline is the BENCH_synth.json schema.
@@ -53,6 +66,60 @@ type Entry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// ServeBaseline is the BENCH_serve.json schema: named load profiles, each
+// gated by an SLO string in the hap-loadgen grammar.
+type ServeBaseline struct {
+	Note     string                  `json:"note"`
+	Profiles map[string]ServeProfile `json:"profiles"`
+}
+
+// ServeProfile is one committed load-test gate.
+type ServeProfile struct {
+	// Note documents what the profile measures and how CI drives it.
+	Note string `json:"note,omitempty"`
+	// SLO is the assertion list, e.g. "errors=0, hit_ratio>=0.99, warm.p99<250ms".
+	SLO string `json:"slo"`
+}
+
+// checkServe evaluates the named profile's SLO against a loadgen JSON report
+// and returns false on violation.
+func checkServe(baselinePath, profile, reportPath string) bool {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal("reading serve baseline: %v", err)
+	}
+	var base ServeBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parsing %s: %v", baselinePath, err)
+	}
+	prof, ok := base.Profiles[profile]
+	if !ok {
+		names := make([]string, 0, len(base.Profiles))
+		for n := range base.Profiles {
+			names = append(names, n)
+		}
+		fatal("profile %q not in %s (have: %s)", profile, baselinePath, strings.Join(names, ", "))
+	}
+	slo, err := load.ParseSLO(prof.SLO)
+	if err != nil {
+		fatal("profile %q: %v", profile, err)
+	}
+	raw, err = os.ReadFile(reportPath)
+	if err != nil {
+		fatal("reading report: %v", err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal("parsing report %s: %v", reportPath, err)
+	}
+	results, ok := slo.Check(&rep)
+	fmt.Printf("profile %s (%s mode, %d requests, %.1f req/s):\n", profile, rep.Mode, rep.Requests, rep.Throughput)
+	for _, r := range results {
+		fmt.Printf("  %s\n", r.Detail)
+	}
+	return ok
+}
+
 // benchLine matches one -benchmem result line, e.g.
 // "BenchmarkSynthesizeVGG19/workers=1-8  3  97076510 ns/op  11646037 B/op  37509 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
@@ -71,7 +138,20 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_synth.json", "committed baseline file")
 	benchPath := flag.String("bench", "", "bench output file (default stdin)")
 	maxAllocsRatio := flag.Float64("max-allocs-ratio", 2.0, "fail when allocs/op exceeds baseline by this factor")
+	serveBaseline := flag.String("serve-baseline", "", "BENCH_serve.json of load-test SLO profiles (switches to serve-gate mode)")
+	profile := flag.String("profile", "", "profile name in -serve-baseline to gate against")
+	reportPath := flag.String("report", "", "hap-loadgen JSON report to evaluate (serve-gate mode)")
 	flag.Parse()
+
+	if *serveBaseline != "" {
+		if *profile == "" || *reportPath == "" {
+			fatal("-serve-baseline requires -profile and -report")
+		}
+		if !checkServe(*serveBaseline, *profile, *reportPath) {
+			fatal("SLO violation")
+		}
+		return
+	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
